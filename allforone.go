@@ -1,0 +1,276 @@
+package allforone
+
+import (
+	"allforone/internal/benor"
+	"allforone/internal/coin"
+	"allforone/internal/core"
+	"allforone/internal/failures"
+	"allforone/internal/harness"
+	"allforone/internal/mm"
+	"allforone/internal/model"
+	"allforone/internal/mpcoin"
+	"allforone/internal/multivalued"
+	"allforone/internal/register"
+	"allforone/internal/shconsensus"
+	"allforone/internal/sim"
+	"allforone/internal/smr"
+	"allforone/internal/trace"
+)
+
+// Value is a binary consensus value (0 or 1) or Bot (⊥, "no value"),
+// which appears only inside the protocol.
+type Value = model.Value
+
+// The three protocol values. Proposals and decisions are always Zero or
+// One.
+const (
+	Zero = model.Zero
+	One  = model.One
+	Bot  = model.Bot
+)
+
+// ProcID identifies a process (dense 0-based indexes).
+type ProcID = model.ProcID
+
+// ClusterID identifies a cluster (dense 0-based indexes).
+type ClusterID = model.ClusterID
+
+// Partition is the cluster decomposition of the process set.
+type Partition = model.Partition
+
+// Partition constructors.
+var (
+	// NewPartition builds a partition from explicit 0-based member lists.
+	NewPartition = model.NewPartition
+	// ParsePartition builds a partition from a 1-based spec such as
+	// "1-3/4-5/6-7".
+	ParsePartition = model.Parse
+	// Singletons is the m=n decomposition (pure message passing).
+	Singletons = model.Singletons
+	// SingleCluster is the m=1 decomposition (pure shared memory).
+	SingleCluster = model.SingleCluster
+	// Blocks splits n processes into m contiguous near-equal clusters.
+	Blocks = model.Blocks
+	// Fig1Left is the paper's left Figure-1 layout: {p1,p2,p3} {p4,p5} {p6,p7}.
+	Fig1Left = model.Fig1Left
+	// Fig1Right is the paper's right Figure-1 layout: {p1} {p2..p5} {p6,p7};
+	// P[2] is a majority cluster.
+	Fig1Right = model.Fig1Right
+)
+
+// Algorithm selects one of the paper's two consensus algorithms.
+type Algorithm = core.Algorithm
+
+// The paper's two algorithms.
+const (
+	// LocalCoin is Algorithm 2 (Ben-Or extension; two-phase rounds).
+	LocalCoin = core.LocalCoin
+	// CommonCoin is Algorithm 3 (FMR extension; single-phase rounds,
+	// expected 2 rounds after estimates stabilize).
+	CommonCoin = core.CommonCoin
+)
+
+// Config describes one hybrid consensus execution. See core.Config for
+// field documentation.
+type Config = core.Config
+
+// Result aggregates a run; ProcResult is one process's outcome.
+type (
+	Result     = sim.Result
+	ProcResult = sim.ProcResult
+)
+
+// Status classifies process outcomes.
+type Status = sim.Status
+
+// Possible process outcomes.
+const (
+	StatusDecided = sim.StatusDecided
+	StatusCrashed = sim.StatusCrashed
+	StatusBlocked = sim.StatusBlocked
+)
+
+// Solve runs binary consensus in the hybrid communication model and
+// returns every process's outcome. It is the package's main entry point.
+func Solve(cfg Config) (*Result, error) { return core.Run(cfg) }
+
+// Failure injection: crash schedules and step points.
+type (
+	// Schedule is a failure pattern: which processes crash, and where.
+	Schedule = failures.Schedule
+	// Crash is one process's crash plan.
+	Crash = failures.Crash
+	// CrashPoint locates a crash: stage of a phase of a round.
+	CrashPoint = failures.Point
+	// CrashStage enumerates the step points of a phase.
+	CrashStage = failures.Stage
+)
+
+// Crash stages, in execution order within a phase.
+const (
+	StageRoundStart            = failures.StageRoundStart
+	StageAfterClusterConsensus = failures.StageAfterClusterConsensus
+	StageMidBroadcast          = failures.StageMidBroadcast
+	StageAfterExchange         = failures.StageAfterExchange
+	StageBeforeDecide          = failures.StageBeforeDecide
+)
+
+// Failure-pattern constructors.
+var (
+	// NewSchedule returns an empty (crash-free) schedule over n processes.
+	NewSchedule = failures.NewSchedule
+	// CrashAllExcept crashes every process at the given point except the
+	// listed survivors.
+	CrashAllExcept = failures.CrashAllExcept
+)
+
+// Trace records structured events of an execution (attach via Config.Trace)
+// and offers invariant checkers; see the trace package.
+type Trace = trace.Log
+
+// NewTrace returns an empty event log.
+func NewTrace() *Trace { return trace.New() }
+
+// CheckClusterUniformity verifies the one-for-all premise over a trace: at
+// one (round, phase), all members of a cluster broadcast the same value.
+func CheckClusterUniformity(l *Trace, part *Partition) error {
+	return trace.CheckClusterUniformity(l, part)
+}
+
+// Coin interfaces, for rigging executions in tests and demos.
+type (
+	// LocalCoinSource yields per-process random bits.
+	LocalCoinSource = coin.Local
+	// CommonCoinSource yields the shared per-round bit sequence.
+	CommonCoinSource = coin.Common
+)
+
+// Coin constructors.
+var (
+	// NewFixedCommonCoin rigs the common coin to a repeating bit table.
+	NewFixedCommonCoin = coin.NewFixedCommon
+	// NewFixedLocalCoin rigs a local coin to a repeating sequence.
+	NewFixedLocalCoin = coin.NewFixedLocal
+)
+
+// Baselines and comparators.
+
+// BenOrConfig configures the pure message-passing Ben-Or baseline.
+type BenOrConfig = benor.Config
+
+// SolveBenOr runs Ben-Or's algorithm (the m=n degenerate case, with plain
+// counting instead of cluster closures).
+func SolveBenOr(cfg BenOrConfig) (*Result, error) { return benor.Run(cfg) }
+
+// MPCoinConfig configures the pure message-passing common-coin baseline.
+type MPCoinConfig = mpcoin.Config
+
+// SolveMPCoin runs the message-passing common-coin algorithm that
+// Algorithm 3 extends.
+func SolveMPCoin(cfg MPCoinConfig) (*Result, error) { return mpcoin.Run(cfg) }
+
+// SharedMemoryConfig configures the m=1 shared-memory baseline.
+type SharedMemoryConfig = shconsensus.Config
+
+// SolveSharedMemory runs single-object compare&swap consensus (wait-free,
+// tolerates any number of crashes, zero messages).
+func SolveSharedMemory(cfg SharedMemoryConfig) (*Result, error) { return shconsensus.Run(cfg) }
+
+// The m&m model comparator (Aguilera et al., PODC 2018).
+type (
+	// MMGraph induces the m&m memory domains S_i = {p_i} ∪ neighbors(p_i).
+	MMGraph = mm.Graph
+	// MMConfig configures an m&m consensus execution.
+	MMConfig = mm.Config
+)
+
+// m&m graph constructors.
+var (
+	// NewMMGraph builds a graph from an edge list.
+	NewMMGraph = mm.NewGraph
+	// Fig2Graph is the appendix's example graph on 5 processes.
+	Fig2Graph = mm.Fig2
+)
+
+// SolveMM runs the m&m-model consensus analog (each process touches
+// α_i + 1 consensus objects per phase; no one-for-all closure).
+func SolveMM(cfg MMConfig) (*Result, error) { return mm.Run(cfg) }
+
+// Multivalued consensus (extension beyond the paper: the classical
+// reduction from multivalued to binary consensus, instantiated over the
+// hybrid model so it inherits the one-for-all fault tolerance).
+type (
+	// MultivaluedConfig configures a multivalued consensus execution; the
+	// proposals are arbitrary strings.
+	MultivaluedConfig = multivalued.Config
+	// MultivaluedResult aggregates a multivalued run.
+	MultivaluedResult = multivalued.Result
+)
+
+// SolveMultivalued runs consensus on arbitrary string proposals.
+func SolveMultivalued(cfg MultivaluedConfig) (*MultivaluedResult, error) {
+	return multivalued.Run(cfg)
+}
+
+// Atomic register over the hybrid model (extension, after the paper's
+// reference [16]): a cluster-aware ABD construction whose operations
+// terminate whenever clusters with a survivor cover a majority — so a
+// majority-cluster member keeps reading/writing alone.
+type (
+	// RegisterSystem is a running register deployment.
+	RegisterSystem = register.System
+	// RegisterHandle is one process's client interface.
+	RegisterHandle = register.Handle
+	// RegisterOptions configures a deployment.
+	RegisterOptions = register.Options
+)
+
+// Register operation errors.
+var (
+	ErrRegisterTimeout = register.ErrTimeout
+	ErrRegisterCrashed = register.ErrCrashed
+)
+
+// NewRegister deploys an atomic multi-writer multi-reader register over
+// the given partition.
+func NewRegister(part *Partition, opts RegisterOptions) (*RegisterSystem, error) {
+	return register.New(part, opts)
+}
+
+// Replicated log / state machine replication (extension): a sequence of
+// log slots, each decided by hybrid multivalued consensus.
+type (
+	// LogConfig configures a replicated-log execution.
+	LogConfig = smr.Config
+	// LogResult aggregates a replicated-log run.
+	LogResult = smr.Result
+	// LogReplicaResult is one replica's view.
+	LogReplicaResult = smr.ReplicaResult
+)
+
+// LogNoOp is the value of a slot won by a replica with no pending command.
+const LogNoOp = smr.NoOp
+
+// SolveLog runs a replicated log: all live replicas build identical
+// command sequences.
+func SolveLog(cfg LogConfig) (*LogResult, error) { return smr.Run(cfg) }
+
+// Experiments.
+
+// ExperimentOptions tunes an experiment run.
+type ExperimentOptions = harness.Options
+
+// ExperimentReport is one experiment's rendered table plus keyed findings.
+type ExperimentReport = harness.Report
+
+// ExperimentIDs lists the available experiment identifiers (E1…E8); see
+// DESIGN.md for the per-experiment index.
+var ExperimentIDs = harness.ExperimentIDs
+
+// RunExperiment executes one of the paper-reproduction experiments.
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	return harness.Run(id, opts)
+}
+
+// DefaultTimeout bounds runs whose liveness condition may not hold.
+const DefaultTimeout = core.DefaultTimeout

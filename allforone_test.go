@@ -1,0 +1,235 @@
+package allforone
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSolveQuickstart(t *testing.T) {
+	t.Parallel()
+	part := Fig1Right()
+	props := []Value{One, Zero, Zero, Zero, Zero, One, One}
+	res, err := Solve(Config{
+		Partition: part,
+		Proposals: props,
+		Algorithm: LocalCoin,
+		Seed:      42,
+		MaxRounds: 1000,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.CheckValidity(props); err != nil {
+		t.Fatal(err)
+	}
+	val, count, ok := res.Decided()
+	if !ok || count != part.N() {
+		t.Fatalf("Decided = %v,%d,%v", val, count, ok)
+	}
+	// P[2] (4 of 7) proposes 0 — the majority cluster's value wins.
+	if val != Zero {
+		t.Errorf("decided %v, want 0", val)
+	}
+}
+
+func TestSolveWithTraceAndSchedule(t *testing.T) {
+	t.Parallel()
+	part := Fig1Right()
+	sched, err := CrashAllExcept(7, CrashPoint{Round: 1, Phase: 1, Stage: StageRoundStart}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := NewTrace()
+	res, err := Solve(Config{
+		Partition: part,
+		Proposals: []Value{One, One, One, One, One, One, One},
+		Algorithm: CommonCoin,
+		Seed:      7,
+		MaxRounds: 100,
+		Timeout:   20 * time.Second,
+		Crashes:   sched,
+		Trace:     log,
+	})
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if !res.AllLiveDecided() {
+		t.Fatalf("survivor did not decide: %+v", res.Procs)
+	}
+	if res.CountStatus(StatusCrashed) != 6 {
+		t.Errorf("crashed = %d, want 6", res.CountStatus(StatusCrashed))
+	}
+	if err := CheckClusterUniformity(log, part); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBaselineFacades(t *testing.T) {
+	t.Parallel()
+	props := []Value{One, One, One, One, One}
+
+	bres, err := SolveBenOr(BenOrConfig{
+		N: 5, Proposals: props, Seed: 1, MaxRounds: 100, Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("SolveBenOr: %v", err)
+	}
+	if !bres.AllLiveDecided() {
+		t.Error("Ben-Or did not decide")
+	}
+
+	mres, err := SolveMPCoin(MPCoinConfig{
+		N: 5, Proposals: props, Seed: 1, MaxRounds: 100, Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("SolveMPCoin: %v", err)
+	}
+	if !mres.AllLiveDecided() {
+		t.Error("MP common coin did not decide")
+	}
+
+	sres, err := SolveSharedMemory(SharedMemoryConfig{N: 5, Proposals: props})
+	if err != nil {
+		t.Fatalf("SolveSharedMemory: %v", err)
+	}
+	if !sres.AllLiveDecided() {
+		t.Error("shared memory did not decide")
+	}
+
+	gres, err := SolveMM(MMConfig{
+		Graph: Fig2Graph(), Proposals: props, Seed: 1, MaxRounds: 100, Timeout: 20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("SolveMM: %v", err)
+	}
+	if !gres.AllLiveDecided() {
+		t.Error("m&m did not decide")
+	}
+}
+
+func TestPartitionFacades(t *testing.T) {
+	t.Parallel()
+	p, err := ParsePartition("1-3/4-5/6-7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N() != 7 || p.M() != 3 {
+		t.Errorf("ParsePartition: N=%d M=%d", p.N(), p.M())
+	}
+	if Singletons(4).M() != 4 || SingleCluster(4).M() != 1 {
+		t.Error("Singletons/SingleCluster wrong")
+	}
+	b, err := Blocks(9, 3)
+	if err != nil || b.M() != 3 {
+		t.Errorf("Blocks: %v, %v", b, err)
+	}
+	if _, err := NewPartition([][]int{{0}, {1, 2}}); err != nil {
+		t.Errorf("NewPartition: %v", err)
+	}
+	if _, ok := Fig1Right().MajorityCluster(); !ok {
+		t.Error("Fig1Right should have a majority cluster")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	t.Parallel()
+	rep, err := RunExperiment("E5", ExperimentOptions{Trials: 2, SeedBase: 3})
+	if err != nil {
+		t.Fatalf("RunExperiment: %v", err)
+	}
+	if rep.ID != "E5" || rep.Table == nil {
+		t.Errorf("report = %+v", rep)
+	}
+	if len(ExperimentIDs) != 10 {
+		t.Errorf("ExperimentIDs = %v, want 10 entries (E1..E9 + A1)", ExperimentIDs)
+	}
+	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
+
+func TestRegisterFacade(t *testing.T) {
+	t.Parallel()
+	sys, err := NewRegister(Fig1Right(), RegisterOptions{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys.Shutdown()
+	if err := sys.Handle(0).Write("x"); err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	got, err := sys.Handle(6).Read()
+	if err != nil || got != "x" {
+		t.Fatalf("Read = %q, %v", got, err)
+	}
+}
+
+func TestLogFacade(t *testing.T) {
+	t.Parallel()
+	part := Fig1Left()
+	cmds := make([][]string, part.N())
+	for i := range cmds {
+		cmds[i] = []string{"set k=" + string(rune('a'+i))}
+	}
+	res, err := SolveLog(LogConfig{
+		Partition: part,
+		Commands:  cmds,
+		Slots:     3,
+		Seed:      2,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("SolveLog: %v", err)
+	}
+	if err := res.CheckLogAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := res.CompletedLogs(3); len(got) != part.N() {
+		t.Fatalf("completed = %d, want %d", len(got), part.N())
+	}
+}
+
+func TestMultivaluedFacade(t *testing.T) {
+	t.Parallel()
+	res, err := SolveMultivalued(MultivaluedConfig{
+		Partition: Fig1Left(),
+		Proposals: []string{"a", "b", "c", "d", "e", "f", "g"},
+		Seed:      3,
+		Timeout:   20 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("SolveMultivalued: %v", err)
+	}
+	if !res.AllLiveDecided() {
+		t.Fatalf("not all decided: %+v", res.Procs)
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRiggedCoinFacades(t *testing.T) {
+	t.Parallel()
+	res, err := Solve(Config{
+		Partition:          Fig1Left(),
+		Proposals:          []Value{One, One, One, One, One, One, One},
+		Algorithm:          CommonCoin,
+		Seed:               1,
+		MaxRounds:          10,
+		Timeout:            20 * time.Second,
+		CommonCoinOverride: NewFixedCommonCoin(One),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.MaxDecisionRound(); got != 1 {
+		t.Errorf("decision round = %d, want 1", got)
+	}
+	if NewFixedLocalCoin(Zero).Flip() != Zero {
+		t.Error("NewFixedLocalCoin broken")
+	}
+}

@@ -1,0 +1,65 @@
+// Command hybridbench regenerates the reproduction's experiment tables
+// (E1…E8, one per figure/claim of the paper — see DESIGN.md §5 and
+// EXPERIMENTS.md).
+//
+// Examples:
+//
+//	hybridbench                 # run the full suite with default trials
+//	hybridbench -exp E2,E5      # run selected experiments
+//	hybridbench -trials 200     # more trials per cell
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"allforone/internal/harness"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("hybridbench", flag.ContinueOnError)
+	var (
+		exps    = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		trials  = fs.Int("trials", 100, "trials per table cell")
+		seed    = fs.Int64("seed", 1, "seed base")
+		timeout = fs.Duration("timeout", 20*time.Second, "per-run timeout")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	ids := harness.ExperimentIDs
+	if *exps != "all" {
+		ids = nil
+		for _, id := range strings.Split(*exps, ",") {
+			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
+		}
+	}
+	opts := harness.Options{Trials: *trials, SeedBase: *seed, Timeout: *timeout}
+
+	fmt.Fprintf(out, "allforone experiment suite — %d trials per cell, seed base %d\n", *trials, *seed)
+	fmt.Fprintf(out, "reproducing: Raynal & Cao, ICDCS 2019 (see EXPERIMENTS.md)\n\n")
+	for _, id := range ids {
+		start := time.Now()
+		rep, err := harness.Run(id, opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		if err := rep.Table.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}

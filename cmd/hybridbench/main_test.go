@@ -1,0 +1,50 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSelectedExperiment(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	err := run([]string{"-exp", "E5", "-trials", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{"E5:", "hybrid", "m&m", "objects/phase", "completed in"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunMultipleExperiments(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	err := run([]string{"-exp", "e5,E7", "-trials", "2"}, &out)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "E5:") || !strings.Contains(s, "E7:") {
+		t.Errorf("output missing experiments:\n%s", s)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-exp", "E42"}, &out); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-trials", "zebra"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}

@@ -1,0 +1,241 @@
+// Command hybridsim runs one consensus instance in the hybrid
+// communication model and prints every process's outcome plus the run's
+// cost metrics.
+//
+// Examples:
+//
+//	# Figure 1 right layout, common-coin algorithm, alternating proposals
+//	hybridsim -partition 1/2-5/6-7 -algo common -proposals 1000011 -seed 7
+//
+//	# The paper's flagship scenario: crash everyone but p3 (in the
+//	# majority cluster); the survivor still decides.
+//	hybridsim -partition 1/2-5/6-7 -algo local -proposals 1111111 \
+//	    -crash-all-except 3
+//
+//	# Explicit crash plan: p2 crashes mid-broadcast in round 1 phase 1.
+//	hybridsim -partition 1-3/4-5/6-7 -proposals random -crash 2:1:1:mid-broadcast
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand/v2"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"allforone/internal/core"
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/trace"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "hybridsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("hybridsim", flag.ContinueOnError)
+	var (
+		partSpec  = fs.String("partition", "1-3/4-5/6-7", "cluster decomposition, 1-based (e.g. 1/2-5/6-7)")
+		algoName  = fs.String("algo", "local", "algorithm: local (Algorithm 2) or common (Algorithm 3)")
+		proposals = fs.String("proposals", "random", "per-process bits (e.g. 1011010) or 'random'")
+		seed      = fs.Int64("seed", 1, "run seed (coins, delays, crash subsets)")
+		maxRounds = fs.Int("max-rounds", 10000, "round cap (0 = unbounded)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "abort blocked runs after this long")
+		maxDelay  = fs.Duration("max-delay", 0, "max message transit delay (0 = immediate)")
+		crashSpec = fs.String("crash", "", "crash plans proc:round:phase:stage;... (1-based proc)")
+		survivors = fs.String("crash-all-except", "", "crash everyone at round 1 start except these (comma-separated, 1-based)")
+		showTrace = fs.Bool("trace", false, "print the event trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	part, err := model.Parse(*partSpec)
+	if err != nil {
+		return err
+	}
+	props, err := parseProposals(*proposals, part.N(), *seed)
+	if err != nil {
+		return err
+	}
+	algo, err := parseAlgo(*algoName)
+	if err != nil {
+		return err
+	}
+	sched, err := parseCrashes(*crashSpec, *survivors, part.N())
+	if err != nil {
+		return err
+	}
+
+	log := trace.New()
+	cfg := core.Config{
+		Partition: part,
+		Proposals: props,
+		Algorithm: algo,
+		Seed:      *seed,
+		Crashes:   sched,
+		MaxRounds: *maxRounds,
+		Timeout:   *timeout,
+		MaxDelay:  *maxDelay,
+		Trace:     log,
+	}
+
+	fmt.Printf("partition : %v\n", part)
+	fmt.Printf("algorithm : %v\n", algo)
+	fmt.Printf("proposals : %s\n", renderProposals(props))
+	if sched != nil && sched.Len() > 0 {
+		fmt.Printf("crashes   : %d scheduled (%v)\n", sched.Len(), sched.Crashed())
+		fmt.Printf("liveness  : condition holds = %v\n", part.LivenessHolds(sched.Crashed()))
+	}
+
+	res, err := core.Run(cfg)
+	if err != nil {
+		return err
+	}
+
+	fmt.Println()
+	for i, pr := range res.Procs {
+		switch pr.Status {
+		case core.StatusDecided:
+			fmt.Printf("%-4v decided %v at round %d\n", model.ProcID(i), pr.Decision, pr.Round)
+		case core.StatusCrashed:
+			fmt.Printf("%-4v crashed at round %d\n", model.ProcID(i), pr.Round)
+		default:
+			fmt.Printf("%-4v %v (last round %d)\n", model.ProcID(i), pr.Status, pr.Round)
+		}
+	}
+	m := res.Metrics
+	fmt.Printf("\nmetrics: msgs=%d delivered=%d broadcasts=%d decide-msgs=%d cons-inv=%d coin-flips=%d max-round=%d elapsed=%v\n",
+		m.MsgsSent, m.MsgsDelivered, m.Broadcasts, m.DecideMsgs, m.ConsInvocations, m.CoinFlips, m.MaxRound, res.Elapsed.Round(time.Microsecond))
+
+	if err := res.CheckAgreement(); err != nil {
+		return err
+	}
+	if err := res.CheckValidity(props); err != nil {
+		return err
+	}
+	if err := trace.CheckClusterUniformity(log, part); err != nil {
+		return err
+	}
+	fmt.Println("safety: agreement ✓  validity ✓  cluster-uniformity ✓")
+
+	if *showTrace {
+		fmt.Println("\ntrace:")
+		for _, e := range log.Events() {
+			fmt.Printf("  %v\n", e)
+		}
+	}
+	return nil
+}
+
+func parseAlgo(name string) (core.Algorithm, error) {
+	switch strings.ToLower(name) {
+	case "local", "local-coin", "benor", "2":
+		return core.LocalCoin, nil
+	case "common", "common-coin", "3":
+		return core.CommonCoin, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q (want local or common)", name)
+}
+
+func parseProposals(spec string, n int, seed int64) ([]model.Value, error) {
+	props := make([]model.Value, n)
+	if spec == "random" {
+		rng := rand.New(rand.NewPCG(uint64(seed), 0x5eed))
+		for i := range props {
+			props[i] = model.BitToValue(rng.Uint64())
+		}
+		return props, nil
+	}
+	if len(spec) != n {
+		return nil, fmt.Errorf("proposals %q has %d bits, want %d", spec, len(spec), n)
+	}
+	for i, c := range spec {
+		switch c {
+		case '0':
+			props[i] = model.Zero
+		case '1':
+			props[i] = model.One
+		default:
+			return nil, fmt.Errorf("proposal bit %q at position %d (want 0 or 1)", c, i)
+		}
+	}
+	return props, nil
+}
+
+func parseStage(name string) (failures.Stage, error) {
+	switch strings.ToLower(name) {
+	case "round-start", "start":
+		return failures.StageRoundStart, nil
+	case "after-cons", "after-cluster-consensus":
+		return failures.StageAfterClusterConsensus, nil
+	case "mid-broadcast", "broadcast":
+		return failures.StageMidBroadcast, nil
+	case "after-exchange", "exchange":
+		return failures.StageAfterExchange, nil
+	case "before-decide", "decide":
+		return failures.StageBeforeDecide, nil
+	}
+	return 0, fmt.Errorf("unknown stage %q", name)
+}
+
+func parseCrashes(crashSpec, survivors string, n int) (*failures.Schedule, error) {
+	if survivors != "" {
+		var keep []model.ProcID
+		for _, s := range strings.Split(survivors, ",") {
+			v, err := strconv.Atoi(strings.TrimSpace(s))
+			if err != nil {
+				return nil, fmt.Errorf("bad survivor %q: %w", s, err)
+			}
+			keep = append(keep, model.ProcID(v-1))
+		}
+		return failures.CrashAllExcept(n,
+			failures.Point{Round: 1, Phase: 1, Stage: failures.StageRoundStart}, keep...)
+	}
+	if crashSpec == "" {
+		return nil, nil
+	}
+	sched := failures.NewSchedule(n)
+	for _, item := range strings.Split(crashSpec, ";") {
+		parts := strings.Split(strings.TrimSpace(item), ":")
+		if len(parts) != 4 {
+			return nil, fmt.Errorf("crash plan %q: want proc:round:phase:stage", item)
+		}
+		proc, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("crash plan %q: bad process: %w", item, err)
+		}
+		round, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("crash plan %q: bad round: %w", item, err)
+		}
+		phase, err := strconv.Atoi(parts[2])
+		if err != nil {
+			return nil, fmt.Errorf("crash plan %q: bad phase: %w", item, err)
+		}
+		stage, err := parseStage(parts[3])
+		if err != nil {
+			return nil, fmt.Errorf("crash plan %q: %w", item, err)
+		}
+		if err := sched.Set(model.ProcID(proc-1), failures.Crash{
+			At: failures.Point{Round: round, Phase: phase, Stage: stage},
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return sched, nil
+}
+
+func renderProposals(props []model.Value) string {
+	var b strings.Builder
+	for _, v := range props {
+		b.WriteString(v.String())
+	}
+	return b.String()
+}

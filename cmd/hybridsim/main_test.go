@@ -1,0 +1,178 @@
+package main
+
+import (
+	"testing"
+
+	"allforone/internal/core"
+	"allforone/internal/failures"
+	"allforone/internal/model"
+)
+
+func TestParseAlgo(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		in      string
+		want    core.Algorithm
+		wantErr bool
+	}{
+		{"local", core.LocalCoin, false},
+		{"LOCAL-COIN", core.LocalCoin, false},
+		{"benor", core.LocalCoin, false},
+		{"2", core.LocalCoin, false},
+		{"common", core.CommonCoin, false},
+		{"common-coin", core.CommonCoin, false},
+		{"3", core.CommonCoin, false},
+		{"paxos", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseAlgo(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseAlgo(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseAlgo(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseProposals(t *testing.T) {
+	t.Parallel()
+	props, err := parseProposals("1011", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []model.Value{model.One, model.Zero, model.One, model.One}
+	for i := range want {
+		if props[i] != want[i] {
+			t.Fatalf("parseProposals = %v, want %v", props, want)
+		}
+	}
+	if _, err := parseProposals("10", 4, 1); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := parseProposals("10x1", 4, 1); err == nil {
+		t.Error("bad bit accepted")
+	}
+	rnd, err := parseProposals("random", 5, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range rnd {
+		if !v.IsBinary() {
+			t.Errorf("random proposal %d = %v, want binary", i, v)
+		}
+	}
+	// Deterministic under a fixed seed.
+	rnd2, _ := parseProposals("random", 5, 42)
+	for i := range rnd {
+		if rnd[i] != rnd2[i] {
+			t.Error("random proposals not reproducible for a fixed seed")
+		}
+	}
+}
+
+func TestParseStage(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		in      string
+		want    failures.Stage
+		wantErr bool
+	}{
+		{"round-start", failures.StageRoundStart, false},
+		{"start", failures.StageRoundStart, false},
+		{"after-cons", failures.StageAfterClusterConsensus, false},
+		{"mid-broadcast", failures.StageMidBroadcast, false},
+		{"broadcast", failures.StageMidBroadcast, false},
+		{"after-exchange", failures.StageAfterExchange, false},
+		{"before-decide", failures.StageBeforeDecide, false},
+		{"decide", failures.StageBeforeDecide, false},
+		{"explode", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := parseStage(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseStage(%q) error = %v", tt.in, err)
+			continue
+		}
+		if !tt.wantErr && got != tt.want {
+			t.Errorf("parseStage(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestParseCrashes(t *testing.T) {
+	t.Parallel()
+	sched, err := parseCrashes("2:1:1:mid-broadcast;5:2:2:decide", "", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sched.Len() != 2 {
+		t.Errorf("Len = %d, want 2", sched.Len())
+	}
+	plan, ok := sched.Plan(1) // 1-based p2 -> index 1
+	if !ok || plan.At.Stage != failures.StageMidBroadcast {
+		t.Errorf("plan for p2 = %+v, %v", plan, ok)
+	}
+
+	surv, err := parseCrashes("", "3,7", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if surv.Len() != 5 {
+		t.Errorf("survivors Len = %d, want 5", surv.Len())
+	}
+	if surv.Crashed().Contains(2) || surv.Crashed().Contains(6) {
+		t.Error("survivors scheduled to crash")
+	}
+
+	if got, err := parseCrashes("", "", 7); err != nil || got != nil {
+		t.Errorf("empty spec = %v, %v", got, err)
+	}
+	for _, bad := range []string{"x:1:1:start", "1:y:1:start", "1:1:z:start", "1:1:1:bad", "1:1:1", "9:1:1:start"} {
+		if _, err := parseCrashes(bad, "", 7); err == nil {
+			t.Errorf("bad spec %q accepted", bad)
+		}
+	}
+	if _, err := parseCrashes("", "zzz", 7); err == nil {
+		t.Error("bad survivor accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	t.Parallel()
+	// The flagship scenario must succeed end to end.
+	err := run([]string{
+		"-partition", "1/2-5/6-7",
+		"-algo", "local",
+		"-proposals", "1111111",
+		"-crash-all-except", "3",
+		"-timeout", "10s",
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	t.Parallel()
+	cases := [][]string{
+		{"-partition", "not-a-partition"},
+		{"-algo", "raft"},
+		{"-proposals", "123"},
+		{"-crash", "nonsense"},
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Errorf("run(%v) succeeded, want error", args)
+		}
+	}
+}
+
+func TestRenderProposals(t *testing.T) {
+	t.Parallel()
+	got := renderProposals([]model.Value{model.One, model.Zero, model.One})
+	if got != "101" {
+		t.Errorf("renderProposals = %q, want 101", got)
+	}
+}

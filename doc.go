@@ -1,0 +1,49 @@
+// Package allforone is a Go implementation of the consensus algorithms of
+//
+//	Michel Raynal and Jiannong Cao,
+//	"One for All and All for One: Scalable Consensus in a Hybrid
+//	Communication Model", ICDCS 2019 (DOI 10.1109/ICDCS.2019.00053).
+//
+// # The hybrid communication model
+//
+// n asynchronous crash-prone processes are partitioned into m clusters.
+// Inside a cluster, processes share a memory enriched with compare&swap
+// (so deterministic wait-free consensus is available cluster-locally);
+// across clusters, every pair of processes is connected by a reliable
+// asynchronous channel.
+//
+// The package provides the paper's two randomized binary consensus
+// algorithms:
+//
+//   - LocalCoin (Algorithm 2): two-phase rounds with per-process local
+//     coins — the hybrid extension of Ben-Or's algorithm.
+//   - CommonCoin (Algorithm 3): single-phase rounds with a shared coin —
+//     the hybrid extension of the Friedman–Mostéfaoui–Raynal algorithm;
+//     expected two rounds once estimates stabilize.
+//
+// Both rest on the msg_exchange communication pattern ("one for all and
+// all for one"): a message received from one member of a cluster counts as
+// received from every member, because the intra-cluster consensus objects
+// force all members to send the same value at the same protocol position.
+// Consequently, consensus terminates in every execution where some set of
+// clusters, each with at least one surviving process, covers a majority of
+// all processes — even when a majority of processes crash.
+//
+// # Quick start
+//
+//	part := allforone.Fig1Right() // n=7: {p1} {p2..p5} {p6,p7}
+//	res, err := allforone.Solve(allforone.Config{
+//		Partition: part,
+//		Proposals: []allforone.Value{1, 0, 0, 0, 0, 1, 1},
+//		Algorithm: allforone.CommonCoin,
+//		Seed:      42,
+//	})
+//	if err != nil { ... }
+//	v, decided, _ := res.Decided()
+//
+// The package also exposes the paper's comparators — pure message-passing
+// Ben-Or, a message-passing common-coin algorithm, single-object shared-
+// memory consensus, and a consensus analog for the m&m model of Aguilera
+// et al. (PODC 2018) — plus the experiment harness that regenerates every
+// figure and quantitative claim of the paper (see EXPERIMENTS.md).
+package allforone

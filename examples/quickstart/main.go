@@ -1,0 +1,57 @@
+// Quickstart: solve binary consensus in the hybrid communication model.
+//
+// Seven processes are partitioned into the paper's Figure-1 (right) layout
+// — P[1]={p1}, P[2]={p2..p5}, P[3]={p6,p7} — and propose a mix of 0s and
+// 1s. Because P[2] holds a majority of processes and agrees internally
+// through its shared-memory consensus object, its value is championed by
+// more than n/2 supporters at every process, so everyone decides it.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"allforone"
+)
+
+func main() {
+	part := allforone.Fig1Right()
+	fmt.Println("partition:", part)
+
+	// P[2] = {p2..p5} proposes 0; the minority clusters propose 1.
+	proposals := []allforone.Value{
+		allforone.One,  // p1
+		allforone.Zero, // p2 ┐
+		allforone.Zero, // p3 │ the majority cluster P[2]
+		allforone.Zero, // p4 │
+		allforone.Zero, // p5 ┘
+		allforone.One,  // p6
+		allforone.One,  // p7
+	}
+
+	res, err := allforone.Solve(allforone.Config{
+		Partition: part,
+		Proposals: proposals,
+		Algorithm: allforone.LocalCoin, // Algorithm 2 (Ben-Or extension)
+		Seed:      42,
+		MaxRounds: 1000,
+		Timeout:   10 * time.Second,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	val, count, ok := res.Decided()
+	if !ok {
+		log.Fatal("no process decided")
+	}
+	fmt.Printf("decision: %v (by %d/%d processes, %d round(s), %d messages)\n",
+		val, count, part.N(), res.MaxDecisionRound(), res.Metrics.MsgsSent)
+
+	for i, pr := range res.Procs {
+		fmt.Printf("  p%d: %v %v at round %d\n", i+1, pr.Status, pr.Decision, pr.Round)
+	}
+}

@@ -1,0 +1,352 @@
+// Package benor implements Ben-Or's randomized binary consensus (PODC
+// 1983) for the pure message-passing model — the baseline Algorithm 2
+// extends, and exactly what Algorithm 2 "boils down to" when every cluster
+// contains a single process (paper §III-B).
+//
+// Per the paper, the communication pattern simplifies: the supporters sets
+// are replaced by a simple count of each value received during the phase.
+// The algorithm requires a majority of correct processes; with n/2 or more
+// crashes it blocks (but stays safe — it is indulgent).
+package benor
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"allforone/internal/coin"
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/sim"
+)
+
+// Config describes one Ben-Or execution.
+type Config struct {
+	// N is the number of processes (required).
+	N int
+	// Proposals holds each process's proposed binary value (required,
+	// length N).
+	Proposals []model.Value
+	// Seed makes all randomness reproducible.
+	Seed int64
+	// Crashes is the failure pattern; nil means crash-free. Stage
+	// StageAfterClusterConsensus has no counterpart here and triggers at
+	// the next step point.
+	Crashes *failures.Schedule
+	// MaxRounds bounds execution; 0 = unbounded.
+	MaxRounds int
+	// Timeout aborts blocked runs; zero means DefaultTimeout.
+	Timeout time.Duration
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
+	// LocalCoinOverride, when non-nil, supplies each process's coin.
+	LocalCoinOverride func(p model.ProcID) coin.Local
+}
+
+// DefaultTimeout bounds runs whose liveness condition may not hold.
+const DefaultTimeout = 30 * time.Second
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("benor: invalid configuration")
+
+// phaseMsg is the (r, ph, est) triple.
+type phaseMsg struct {
+	round int
+	phase int
+	est   model.Value
+}
+
+// decideMsg is DECIDE(v).
+type decideMsg struct {
+	val model.Value
+}
+
+type phaseKey struct{ round, phase int }
+
+func (k phaseKey) less(o phaseKey) bool {
+	if k.round != o.round {
+		return k.round < o.round
+	}
+	return k.phase < o.phase
+}
+
+// tally counts values received in one phase, one slot per sender to honor
+// the no-duplication guarantee.
+type tally struct {
+	counts map[model.Value]int
+	total  int
+}
+
+func newTally() *tally { return &tally{counts: make(map[model.Value]int, 3)} }
+
+func (t *tally) add(v model.Value) {
+	t.counts[v]++
+	t.total++
+}
+
+// majorityValue returns the binary value reported by more than n/2
+// processes, if any.
+func (t *tally) majorityValue(n int) (model.Value, bool) {
+	for _, v := range []model.Value{model.Zero, model.One} {
+		if 2*t.counts[v] > n {
+			return v, true
+		}
+	}
+	return model.Bot, false
+}
+
+// received returns the distinct values seen (the rec_i set).
+func (t *tally) received() []model.Value {
+	out := make([]model.Value, 0, len(t.counts))
+	for _, v := range []model.Value{model.Zero, model.One, model.Bot} {
+		if t.counts[v] > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+type proc struct {
+	id        model.ProcID
+	n         int
+	net       *netsim.Network
+	local     coin.Local
+	sched     *failures.Schedule
+	ctr       *metrics.Counters
+	done      <-chan struct{}
+	rng       *rand.Rand
+	maxRounds int
+	pending   map[phaseKey][]model.Value
+}
+
+type outcome struct {
+	status sim.Status
+	val    model.Value
+	round  int
+	err    error
+}
+
+func (p *proc) checkAbort(r int) *outcome {
+	select {
+	case <-p.done:
+		return &outcome{status: sim.StatusBlocked, round: r - 1}
+	default:
+	}
+	if p.maxRounds > 0 && r > p.maxRounds {
+		return &outcome{status: sim.StatusBlocked, round: r - 1}
+	}
+	return nil
+}
+
+// exchange is Ben-Or's per-phase pattern: broadcast (r, ph, est) and wait
+// until more than n/2 processes reported for (r, ph).
+func (p *proc) exchange(r, ph int, est model.Value) (*tally, *outcome) {
+	cur := phaseKey{round: r, phase: ph}
+	if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: ph, Stage: failures.StageMidBroadcast}) {
+		plan, _ := p.sched.Plan(p.id)
+		recipients := plan.DeliverTo
+		if recipients == nil {
+			recipients = failures.RandomSubset(p.rng, p.n)
+		}
+		p.net.BroadcastSubset(p.id, phaseMsg{round: r, phase: ph, est: est}, recipients)
+		return nil, &outcome{status: sim.StatusCrashed, round: r}
+	}
+	p.net.Broadcast(p.id, phaseMsg{round: r, phase: ph, est: est})
+
+	t := newTally()
+	for _, v := range p.pending[cur] {
+		t.add(v)
+	}
+	delete(p.pending, cur)
+
+	for 2*t.total <= p.n {
+		msg, ok := p.net.Receive(p.id, p.done)
+		if !ok {
+			return nil, &outcome{status: sim.StatusBlocked, round: r}
+		}
+		switch payload := msg.Payload.(type) {
+		case decideMsg:
+			p.ctr.AddDecideMsgs(int64(p.n))
+			p.net.Broadcast(p.id, payload)
+			return nil, &outcome{status: sim.StatusDecided, val: payload.val, round: r}
+		case phaseMsg:
+			k := phaseKey{round: payload.round, phase: payload.phase}
+			switch {
+			case k == cur:
+				t.add(payload.est)
+			case cur.less(k):
+				p.pending[k] = append(p.pending[k], payload.est)
+			}
+		}
+	}
+	return t, nil
+}
+
+func (p *proc) decideNow(r, ph int, v model.Value) outcome {
+	if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: ph, Stage: failures.StageBeforeDecide}) {
+		plan, _ := p.sched.Plan(p.id)
+		if len(plan.DeliverTo) > 0 {
+			p.ctr.AddDecideMsgs(int64(len(plan.DeliverTo)))
+			p.net.BroadcastSubset(p.id, decideMsg{val: v}, plan.DeliverTo)
+		}
+		return outcome{status: sim.StatusCrashed, round: r}
+	}
+	p.ctr.AddDecideMsgs(int64(p.n))
+	p.net.Broadcast(p.id, decideMsg{val: v})
+	return outcome{status: sim.StatusDecided, val: v, round: r}
+}
+
+// run executes Ben-Or's algorithm for one process.
+func (p *proc) run(proposal model.Value) outcome {
+	est1 := proposal
+	for r := 1; ; r++ {
+		if out := p.checkAbort(r); out != nil {
+			return *out
+		}
+		if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: 1, Stage: failures.StageRoundStart}) {
+			return outcome{status: sim.StatusCrashed, round: r}
+		}
+
+		// Phase 1: champion a value if a majority reports it.
+		t1, interrupted := p.exchange(r, 1, est1)
+		if interrupted != nil {
+			return *interrupted
+		}
+		if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: 1, Stage: failures.StageAfterExchange}) {
+			return outcome{status: sim.StatusCrashed, round: r}
+		}
+		est2 := model.Bot
+		if v, ok := t1.majorityValue(p.n); ok {
+			est2 = v
+		}
+
+		// Phase 2: decide, adopt, or flip.
+		t2, interrupted := p.exchange(r, 2, est2)
+		if interrupted != nil {
+			return *interrupted
+		}
+		if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: 2, Stage: failures.StageAfterExchange}) {
+			return outcome{status: sim.StatusCrashed, round: r}
+		}
+		rec := t2.received()
+		p.ctr.ObserveRound(int64(r))
+		switch {
+		case len(rec) == 1 && rec[0].IsBinary():
+			return p.decideNow(r, 2, rec[0])
+		case len(rec) == 2 && rec[1] == model.Bot:
+			est1 = rec[0]
+		case len(rec) == 1 && rec[0] == model.Bot:
+			est1 = p.local.Flip()
+			p.ctr.AddCoinFlips(1)
+		default:
+			return outcome{
+				status: sim.StatusFailed,
+				round:  r,
+				err:    fmt.Errorf("benor: weak agreement violated at %v round %d: rec = %v", p.id, r, rec),
+			}
+		}
+	}
+}
+
+// ErrInvariantBroken reports a protocol invariant violation (a bug).
+var ErrInvariantBroken = errors.New("benor: protocol invariant broken")
+
+// Run executes one Ben-Or consensus instance and returns per-process
+// outcomes.
+func Run(cfg Config) (*sim.Result, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("%w: need at least one process", ErrBadConfig)
+	}
+	if len(cfg.Proposals) != cfg.N {
+		return nil, fmt.Errorf("%w: %d proposals for %d processes", ErrBadConfig, len(cfg.Proposals), cfg.N)
+	}
+	for i, v := range cfg.Proposals {
+		if !v.IsBinary() {
+			return nil, fmt.Errorf("%w: proposal of %v is %v", ErrBadConfig, model.ProcID(i), v)
+		}
+	}
+
+	var ctr metrics.Counters
+	netOpts := []netsim.Option{
+		netsim.WithSeed(uint64(cfg.Seed) ^ 0x9e6c_63d0_876a_9a7d),
+		netsim.WithCounters(&ctr),
+	}
+	if cfg.MaxDelay > 0 {
+		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
+	}
+	nw, err := netsim.New(cfg.N, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	done := make(chan struct{})
+	outcomes := make([]outcome, cfg.N)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < cfg.N; i++ {
+		id := model.ProcID(i)
+		var localCoin coin.Local
+		if cfg.LocalCoinOverride != nil {
+			localCoin = cfg.LocalCoinOverride(id)
+		} else {
+			localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
+		}
+		s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x1405_7b7e_f767_814f, id)
+		p := &proc{
+			id:        id,
+			n:         cfg.N,
+			net:       nw,
+			local:     localCoin,
+			sched:     cfg.Crashes,
+			ctr:       &ctr,
+			done:      done,
+			rng:       rand.New(rand.NewPCG(s1, s2)),
+			maxRounds: cfg.MaxRounds,
+			pending:   make(map[phaseKey][]model.Value),
+		}
+		proposal := cfg.Proposals[i]
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			outcomes[p.id] = p.run(proposal)
+			nw.CloseInbox(p.id)
+		}(p)
+	}
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	timer := time.NewTimer(timeout)
+	select {
+	case <-finished:
+		timer.Stop()
+	case <-timer.C:
+		close(done)
+		<-finished
+	}
+	elapsed := time.Since(start)
+	nw.Shutdown()
+
+	res := &sim.Result{
+		Procs:   make([]sim.ProcResult, cfg.N),
+		Metrics: ctr.Read(),
+		Elapsed: elapsed,
+	}
+	for i, o := range outcomes {
+		if o.status == sim.StatusFailed {
+			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
+		}
+		res.Procs[i] = sim.ProcResult{Status: o.status, Decision: o.val, Round: o.round}
+	}
+	return res, nil
+}

@@ -1,0 +1,23 @@
+package coin
+
+import "testing"
+
+func BenchmarkPRNGLocalFlip(b *testing.B) {
+	c := NewPRNGLocal(1, 2)
+	for i := 0; i < b.N; i++ {
+		_ = c.Flip()
+	}
+}
+
+func BenchmarkSplitMixCommonBit(b *testing.B) {
+	c := NewSplitMixCommon(7)
+	for i := 0; i < b.N; i++ {
+		_ = c.Bit(i + 1)
+	}
+}
+
+func BenchmarkDeriveLocalSeed(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = DeriveLocalSeed(int64(i), 3)
+	}
+}

@@ -1,0 +1,49 @@
+package consensusobj
+
+import (
+	"testing"
+
+	"allforone/internal/model"
+	"allforone/internal/shmem"
+)
+
+func BenchmarkCASProposeDecided(b *testing.B) {
+	obj := NewCAS()
+	obj.Propose(model.One)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = obj.Propose(model.Zero)
+	}
+}
+
+func BenchmarkCASProposeFresh(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		obj := NewCAS()
+		_ = obj.Propose(model.One)
+	}
+}
+
+func BenchmarkCASProposeContended(b *testing.B) {
+	obj := NewCAS()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			_ = obj.Propose(model.One)
+		}
+	})
+}
+
+func BenchmarkLLSCPropose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		obj := NewLLSC()
+		_ = obj.Propose(model.Zero)
+	}
+}
+
+func BenchmarkArrayGetPropose(b *testing.B) {
+	mem := shmem.NewMemory()
+	a := NewArray(mem, "CONS")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Get(i%64, 1+i%2).Propose(model.One)
+	}
+}

@@ -1,0 +1,254 @@
+package consensusobj
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"allforone/internal/model"
+	"allforone/internal/shmem"
+)
+
+// Interface compliance.
+var (
+	_ Object = (*CAS)(nil)
+	_ Object = (*LLSC)(nil)
+	_ Object = (*countingObject)(nil)
+)
+
+func TestCASFirstProposalWins(t *testing.T) {
+	t.Parallel()
+	c := NewCAS()
+	if _, ok := c.Decided(); ok {
+		t.Fatal("fresh object reports a decision")
+	}
+	if got := c.Propose(model.One); got != model.One {
+		t.Errorf("first Propose(1) = %v, want 1", got)
+	}
+	if got := c.Propose(model.Zero); got != model.One {
+		t.Errorf("second Propose(0) = %v, want 1 (agreement)", got)
+	}
+	if got, ok := c.Decided(); !ok || got != model.One {
+		t.Errorf("Decided = %v,%v, want 1,true", got, ok)
+	}
+}
+
+// Regression: ⊥ is a legal proposal (Algorithm 2's CONS_x[r,2] receives it)
+// and must be decidable like any other value — a later binary proposal must
+// NOT overwrite it. The original implementation used Bot as the undecided
+// sentinel and broke cluster agreement exactly here.
+func TestProposeBotFirstDecidesBot(t *testing.T) {
+	t.Parallel()
+	c := NewCAS()
+	if got := c.Propose(model.Bot); got != model.Bot {
+		t.Fatalf("first Propose(⊥) = %v, want ⊥", got)
+	}
+	if got := c.Propose(model.Zero); got != model.Bot {
+		t.Fatalf("second Propose(0) = %v, want ⊥ (agreement on the first proposal)", got)
+	}
+	if got, ok := c.Decided(); !ok || got != model.Bot {
+		t.Errorf("Decided = %v,%v, want ⊥,true", got, ok)
+	}
+
+	l := NewLLSC()
+	if got := l.Propose(model.Bot); got != model.Bot {
+		t.Fatalf("LLSC first Propose(⊥) = %v, want ⊥", got)
+	}
+	if got := l.Propose(model.One); got != model.Bot {
+		t.Fatalf("LLSC second Propose(1) = %v, want ⊥", got)
+	}
+
+	tas := NewTAS2()
+	v0, err := tas.ProposeAt(0, model.Bot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1, err := tas.ProposeAt(1, model.One)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v0 != v1 {
+		t.Errorf("TAS2 disagreement with ⊥ proposal: %v vs %v", v0, v1)
+	}
+}
+
+func TestCASZeroValueUsable(t *testing.T) {
+	t.Parallel()
+	var c CAS
+	if got := c.Propose(model.Zero); got != model.Zero {
+		t.Errorf("zero-value CAS Propose(0) = %v, want 0", got)
+	}
+}
+
+func TestLLSCFirstProposalWins(t *testing.T) {
+	t.Parallel()
+	l := NewLLSC()
+	if got := l.Propose(model.Zero); got != model.Zero {
+		t.Errorf("first Propose(0) = %v, want 0", got)
+	}
+	if got := l.Propose(model.One); got != model.Zero {
+		t.Errorf("second Propose(1) = %v, want 0 (agreement)", got)
+	}
+}
+
+// checkConsensus drives `procs` concurrent proposers at obj and verifies
+// agreement (all outputs equal) and validity (output was proposed).
+func checkConsensus(t *testing.T, mk func() Object, procs, trials int) {
+	t.Helper()
+	rng := rand.New(rand.NewPCG(3, 9))
+	for trial := 0; trial < trials; trial++ {
+		obj := mk()
+		proposals := make([]model.Value, procs)
+		outputs := make([]model.Value, procs)
+		for i := range proposals {
+			proposals[i] = model.BitToValue(rng.Uint64())
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				outputs[i] = obj.Propose(proposals[i])
+			}(i)
+		}
+		wg.Wait()
+		decided := outputs[0]
+		proposed := false
+		for i := 0; i < procs; i++ {
+			if outputs[i] != decided {
+				t.Fatalf("trial %d: agreement violated: %v vs %v", trial, outputs[i], decided)
+			}
+			if proposals[i] == decided {
+				proposed = true
+			}
+		}
+		if !proposed {
+			t.Fatalf("trial %d: validity violated: decided %v never proposed", trial, decided)
+		}
+	}
+}
+
+func TestCASConsensusProperties(t *testing.T) {
+	t.Parallel()
+	checkConsensus(t, func() Object { return NewCAS() }, 32, 40)
+}
+
+func TestLLSCConsensusProperties(t *testing.T) {
+	t.Parallel()
+	checkConsensus(t, func() Object { return NewLLSC() }, 32, 40)
+}
+
+func TestTAS2TwoProcesses(t *testing.T) {
+	t.Parallel()
+	for trial := 0; trial < 100; trial++ {
+		obj := NewTAS2()
+		outs := make([]model.Value, 2)
+		var wg sync.WaitGroup
+		for slot := 0; slot < 2; slot++ {
+			wg.Add(1)
+			go func(slot int) {
+				defer wg.Done()
+				v, err := obj.ProposeAt(slot, model.Value(int8(slot)))
+				if err != nil {
+					t.Errorf("ProposeAt(%d): %v", slot, err)
+					return
+				}
+				outs[slot] = v
+			}(slot)
+		}
+		wg.Wait()
+		if outs[0] != outs[1] {
+			t.Fatalf("trial %d: TAS2 agreement violated: %v vs %v", trial, outs[0], outs[1])
+		}
+		if outs[0] != model.Zero && outs[0] != model.One {
+			t.Fatalf("trial %d: TAS2 decided non-proposal %v", trial, outs[0])
+		}
+	}
+}
+
+func TestTAS2Solo(t *testing.T) {
+	t.Parallel()
+	obj := NewTAS2()
+	v, err := obj.ProposeAt(1, model.One)
+	if err != nil {
+		t.Fatalf("ProposeAt: %v", err)
+	}
+	if v != model.One {
+		t.Errorf("solo ProposeAt = %v, want 1 (validity)", v)
+	}
+}
+
+func TestTAS2BadSlot(t *testing.T) {
+	t.Parallel()
+	obj := NewTAS2()
+	if _, err := obj.ProposeAt(2, model.One); err == nil {
+		t.Error("ProposeAt(2) should fail")
+	}
+	if _, err := obj.ProposeAt(-1, model.One); err == nil {
+		t.Error("ProposeAt(-1) should fail")
+	}
+}
+
+func TestArraySameSlotSameObject(t *testing.T) {
+	t.Parallel()
+	mem := shmem.NewMemory()
+	a := NewArray(mem, "cons")
+	// Decide slot (3,1) through one handle; observe through another.
+	if got := a.Get(3, 1).Propose(model.One); got != model.One {
+		t.Fatalf("Propose = %v, want 1", got)
+	}
+	if got := a.Get(3, 1).Propose(model.Zero); got != model.One {
+		t.Errorf("same slot re-propose = %v, want 1", got)
+	}
+	// A different slot is independent.
+	if got := a.Get(3, 2).Propose(model.Zero); got != model.Zero {
+		t.Errorf("different slot = %v, want 0", got)
+	}
+	if got := a.Allocations(); got != 2 {
+		t.Errorf("Allocations = %d, want 2", got)
+	}
+	if got := a.Invocations(); got != 3 {
+		t.Errorf("Invocations = %d, want 3", got)
+	}
+}
+
+func TestArrayConcurrentSlotRace(t *testing.T) {
+	t.Parallel()
+	mem := shmem.NewMemory()
+	a := NewArray(mem, "cons")
+	const procs = 24
+	outs := make([]model.Value, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i] = a.Get(7, 1).Propose(model.Value(int8(i % 2)))
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < procs; i++ {
+		if outs[i] != outs[0] {
+			t.Fatalf("agreement violated across racing Get+Propose: %v vs %v", outs[i], outs[0])
+		}
+	}
+	if got := a.Allocations(); got != 1 {
+		t.Errorf("Allocations = %d, want 1", got)
+	}
+	if got := a.Invocations(); got != procs {
+		t.Errorf("Invocations = %d, want %d", got, procs)
+	}
+}
+
+func TestArrayDistinctPrefixesIndependent(t *testing.T) {
+	t.Parallel()
+	mem := shmem.NewMemory()
+	a := NewArray(mem, "a")
+	b := NewArray(mem, "b")
+	if got := a.Get(1, 1).Propose(model.Zero); got != model.Zero {
+		t.Fatalf("a slot = %v", got)
+	}
+	if got := b.Get(1, 1).Propose(model.One); got != model.One {
+		t.Errorf("b slot = %v, want 1 (independent of a)", got)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/trace"
+)
+
+// runCommonCoin executes Algorithm 3 — common-coin binary consensus — on
+// behalf of process p with the given proposal. Rounds have a single phase:
+// agree inside the cluster (CONS_x[r]), exchange across clusters, then
+// consult the common coin. If some value v is supported by a majority the
+// process adopts it, and decides when the round's coin bit equals v;
+// otherwise it adopts the coin bit. Once every surviving process holds the
+// same estimate v, each subsequent round decides with probability 1/2, so
+// the expected number of additional rounds is 2 (paper §IV).
+func (p *proc) runCommonCoin(proposal model.Value) outcome {
+	p.log.Append(p.id, trace.KindPropose, 0, 0, proposal)
+	est := proposal
+	for r := 1; ; r++ {
+		if out := p.checkAbort(r); out != nil {
+			return *out
+		}
+		p.log.Append(p.id, trace.KindRoundStart, r, 1, est)
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageRoundStart}) {
+			return p.crashNow(r, 1)
+		}
+
+		est = p.clusterPropose(r, 1, est) // line 4: agree inside the cluster
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageAfterClusterConsensus}) {
+			return p.crashNow(r, 1)
+		}
+		sup, interrupted := p.msgExchange(r, 1, est) // line 5
+		if interrupted != nil {
+			return *interrupted
+		}
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageAfterExchange}) {
+			return p.crashNow(r, 1)
+		}
+
+		s := p.common.Bit(r) // line 6: same bit at every process
+		p.log.Append(p.id, trace.KindCoinFlip, r, 1, s)
+
+		p.ctr.ObserveRound(int64(r))
+		if v, ok := sup.MajorityValue(); ok { // line 7
+			est = v // line 8
+			if s == v {
+				return p.decideNow(r, 1, v) // line 9
+			}
+		} else {
+			est = s // line 10
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package core
+
+import (
+	"allforone/internal/model"
+	"allforone/internal/trace"
+)
+
+// supporters is the paper's supporters_i[·] family for one execution of the
+// communication pattern: for each value v received in (r, ph, v) messages,
+// the cluster-closure of the senders — "if p_i receives (r, ph, v) from
+// p_j ∈ P[x], it is as if it received the very same message from all the
+// processes of P[x]" (Algorithm 1 line 6).
+type supporters struct {
+	n      int
+	byVal  map[model.Value]*model.ProcSet
+	covers *model.ProcSet // union over all values (exit-condition set)
+}
+
+func newSupporters(n int) *supporters {
+	return &supporters{
+		n:      n,
+		byVal:  make(map[model.Value]*model.ProcSet, 3),
+		covers: model.NewProcSet(n),
+	}
+}
+
+// add accounts one (r, ph, v) message from sender via its cluster closure.
+// With closureOff (the ablation) only the sender itself is counted.
+func (s *supporters) add(part *model.Partition, sender model.ProcID, v model.Value, closureOff bool) {
+	set, ok := s.byVal[v]
+	if !ok {
+		set = model.NewProcSet(s.n)
+		s.byVal[v] = set
+	}
+	if closureOff {
+		set.Add(sender)
+		s.covers.Add(sender)
+		return
+	}
+	closure := part.Cluster(sender)
+	set.UnionInto(closure)
+	s.covers.UnionInto(closure)
+}
+
+// Of returns the supporter set of value v (possibly empty).
+func (s *supporters) Of(v model.Value) *model.ProcSet {
+	if set, ok := s.byVal[v]; ok {
+		return set
+	}
+	return model.NewProcSet(s.n)
+}
+
+// MajorityValue returns the binary value supported by more than n/2
+// processes, if any. At most one such value can exist (two majorities
+// intersect, and by cluster uniformity every process supports one value
+// per (r, ph)).
+func (s *supporters) MajorityValue() (model.Value, bool) {
+	for _, v := range []model.Value{model.Zero, model.One} {
+		if set, ok := s.byVal[v]; ok && set.IsMajority() {
+			return v, true
+		}
+	}
+	return model.Bot, false
+}
+
+// Received returns the set of distinct values with at least one supporter —
+// the paper's rec_i set (Algorithm 2 line 10).
+func (s *supporters) Received() []model.Value {
+	out := make([]model.Value, 0, len(s.byVal))
+	for _, v := range []model.Value{model.Zero, model.One, model.Bot} {
+		if set, ok := s.byVal[v]; ok && set.Count() > 0 {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// exitCondition is Algorithm 1 line 7: the closure of received senders
+// covers a strict majority of Π.
+func (s *supporters) exitCondition() bool { return s.covers.IsMajority() }
+
+// msgExchange is Algorithm 1, the operation msg_exchange(r, ph, est):
+// broadcast (r, ph, est) to all (including self), then collect (r, ph, −)
+// messages, accounting each sender's whole cluster as supporters of the
+// carried value, until the accumulated closure covers a majority of
+// processes.
+//
+// It returns the supporters tally, or a non-nil outcome if the execution
+// ended inside the pattern: the process crashed mid-broadcast, learned a
+// decision via DECIDE (in which case it rebroadcasts DECIDE first, line
+// 17), or was aborted by the runner.
+//
+// Messages for later protocol positions are buffered for replay; messages
+// for earlier positions are stale and dropped (their senders have already
+// been accounted at those positions or are irrelevant to them).
+func (p *proc) msgExchange(r, ph int, est model.Value) (*supporters, *outcome) {
+	cur := phaseKey{round: r, phase: ph}
+	sup := newSupporters(p.part.N())
+
+	// Broadcast (line 3) — may be interrupted by a mid-broadcast crash.
+	if crashed := p.broadcastPhase(r, ph, est); crashed {
+		out := p.crashNow(r, ph)
+		return nil, &out
+	}
+
+	// Replay messages buffered for this position by earlier exchanges.
+	for _, bm := range p.pending[cur] {
+		sup.add(p.part, bm.from, bm.est, p.ablateClosure)
+	}
+	delete(p.pending, cur)
+
+	// Collect until the closure covers a majority (lines 4-7).
+	for !sup.exitCondition() {
+		msg, ok := p.net.Receive(p.id, p.done)
+		if !ok {
+			out := outcome{status: StatusBlocked, round: r}
+			p.log.Append(p.id, trace.KindBlocked, r, ph, model.Bot)
+			return nil, &out
+		}
+		switch payload := msg.Payload.(type) {
+		case DecideMsg:
+			// Line 17: rebroadcast DECIDE, then decide.
+			p.broadcastDecide(payload.Val)
+			p.log.Append(p.id, trace.KindDecide, r, ph, payload.Val)
+			out := outcome{status: StatusDecided, val: payload.Val, round: r}
+			return nil, &out
+		case PhaseMsg:
+			k := phaseKey{round: payload.Round, phase: payload.Phase}
+			switch {
+			case k == cur:
+				sup.add(p.part, msg.From, payload.Est, p.ablateClosure)
+			case cur.less(k):
+				p.pending[k] = append(p.pending[k], bufferedMsg{from: msg.From, est: payload.Est})
+			default:
+				// Stale: an earlier position's message; ignore.
+			}
+		default:
+			// Unknown payloads indicate a wiring bug; ignore defensively.
+		}
+	}
+	p.log.Append(p.id, trace.KindExchangeExit, r, ph, est)
+	return sup, nil
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/trace"
+)
+
+// runLocalCoin executes Algorithm 2 — local-coin binary consensus — on
+// behalf of process p with the given proposal. Each round has two phases;
+// in each phase the cluster first agrees internally through CONS_x[r,ph],
+// then all clusters exchange through msg_exchange.
+//
+// Phase 1 establishes the weak agreement WA1: any two non-⊥ est2 values are
+// equal. Phase 2 establishes WA2: rec={v} at one process excludes rec={⊥}
+// at another. Decision logic is Ben-Or's (lines 12-14): a single value v →
+// decide v; {v,⊥} → adopt v; {⊥} → local coin.
+func (p *proc) runLocalCoin(proposal model.Value) outcome {
+	p.log.Append(p.id, trace.KindPropose, 0, 0, proposal)
+	est1 := proposal
+	for r := 1; ; r++ {
+		if out := p.checkAbort(r); out != nil {
+			return *out
+		}
+		p.log.Append(p.id, trace.KindRoundStart, r, 1, est1)
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageRoundStart}) {
+			return p.crashNow(r, 1)
+		}
+
+		// Phase 1: try to champion a value.
+		est1 = p.clusterPropose(r, 1, est1) // line 4: agree inside the cluster
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageAfterClusterConsensus}) {
+			return p.crashNow(r, 1)
+		}
+		sup1, interrupted := p.msgExchange(r, 1, est1) // line 5
+		if interrupted != nil {
+			return *interrupted
+		}
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 1, Stage: failures.StageAfterExchange}) {
+			return p.crashNow(r, 1)
+		}
+		est2 := model.Bot
+		if v, ok := sup1.MajorityValue(); ok { // lines 6-7
+			est2 = v
+		}
+
+		// Phase 2: try to decide a value from the est2 values.
+		est2 = p.clusterPropose(r, 2, est2) // line 8
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 2, Stage: failures.StageAfterClusterConsensus}) {
+			return p.crashNow(r, 2)
+		}
+		sup2, interrupted := p.msgExchange(r, 2, est2) // line 9
+		if interrupted != nil {
+			return *interrupted
+		}
+		if p.atCrashPoint(failures.Point{Round: r, Phase: 2, Stage: failures.StageAfterExchange}) {
+			return p.crashNow(r, 2)
+		}
+
+		rec := sup2.Received() // line 10
+		p.ctr.ObserveRound(int64(r))
+		switch {
+		case len(rec) == 1 && rec[0].IsBinary(): // line 12: rec = {v}
+			return p.decideNow(r, 2, rec[0])
+		case len(rec) == 2 && rec[1] == model.Bot: // line 13: rec = {v,⊥}
+			est1 = rec[0]
+		case len(rec) == 1 && rec[0] == model.Bot: // line 14: rec = {⊥}
+			est1 = p.local.Flip()
+			p.ctr.AddCoinFlips(1)
+			p.log.Append(p.id, trace.KindCoinFlip, r, 2, est1)
+		default:
+			// Two distinct binary values in rec would violate WA1/WA2 —
+			// impossible in a correct implementation; surface loudly.
+			return outcome{
+				status: StatusFailed,
+				round:  r,
+				err: fmt.Errorf(
+					"core: weak agreement violated at %v round %d: rec = %v", p.id, r, rec),
+			}
+		}
+	}
+}

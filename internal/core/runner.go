@@ -1,0 +1,265 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"time"
+
+	"allforone/internal/coin"
+	"allforone/internal/consensusobj"
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/shmem"
+	"allforone/internal/sim"
+	"allforone/internal/trace"
+)
+
+// Algorithm selects which of the paper's two consensus algorithms to run.
+type Algorithm int
+
+// The paper's two algorithms.
+const (
+	// LocalCoin is Algorithm 2: two-phase rounds, per-process local coins
+	// (the hybrid-model extension of Ben-Or's algorithm).
+	LocalCoin Algorithm = iota + 1
+	// CommonCoin is Algorithm 3: single-phase rounds, a shared coin
+	// (the hybrid-model extension of the FMR-style algorithm).
+	CommonCoin
+)
+
+// String names the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case LocalCoin:
+		return "local-coin"
+	case CommonCoin:
+		return "common-coin"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Phases returns the number of phases per round (2 for Algorithm 2, 1 for
+// Algorithm 3) — needed by failure generators.
+func (a Algorithm) Phases() int {
+	if a == LocalCoin {
+		return 2
+	}
+	return 1
+}
+
+// Config describes one consensus execution.
+type Config struct {
+	// Partition is the cluster decomposition (required).
+	Partition *model.Partition
+	// Proposals holds each process's proposed binary value (required,
+	// length n).
+	Proposals []model.Value
+	// Algorithm selects local-coin (Algorithm 2) or common-coin
+	// (Algorithm 3).
+	Algorithm Algorithm
+	// Seed makes all randomness of the run (coins, delays, crash subsets)
+	// reproducible.
+	Seed int64
+	// Crashes is the failure pattern; nil means crash-free.
+	Crashes *failures.Schedule
+	// MaxRounds bounds the rounds each process executes; 0 = unbounded.
+	// Processes exceeding the bound end as StatusBlocked.
+	MaxRounds int
+	// Timeout aborts a run whose processes are stuck waiting (e.g. when the
+	// liveness condition does not hold); blocked processes end as
+	// StatusBlocked. Zero means DefaultTimeout.
+	Timeout time.Duration
+	// MinDelay/MaxDelay bound the uniform random message transit time.
+	// A zero MaxDelay means immediate delivery (asynchrony still arises
+	// from goroutine scheduling).
+	MinDelay, MaxDelay time.Duration
+	// Trace, when non-nil, records the event history of the run.
+	Trace *trace.Log
+	// CommonCoinOverride, when non-nil, replaces the seeded common coin
+	// (used by tests to rig coin sequences).
+	CommonCoinOverride coin.Common
+	// LocalCoinOverride, when non-nil, supplies every process's local coin
+	// (used by tests to rig coin sequences).
+	LocalCoinOverride func(p model.ProcID) coin.Local
+
+	// Ablations — NOT part of the paper's algorithms. They exist so the
+	// ablation experiment can quantify what each design ingredient buys
+	// (see harness experiment A1).
+	//
+	// AblateClosure counts only the actual sender in msg_exchange instead
+	// of its whole cluster. The algorithm stays safe but loses the
+	// one-for-all property: it degenerates to the classical majority
+	// requirement.
+	AblateClosure bool
+	// AblateClusterConsensus skips the CONS_x[r,ph] agreement, letting
+	// cluster members broadcast different values at the same position.
+	// This breaks the premise of the closure accounting: runs may violate
+	// cluster uniformity and abort with ErrInvariantBroken — which is the
+	// point of the ablation.
+	AblateClusterConsensus bool
+}
+
+// DefaultTimeout bounds runs whose liveness condition may not hold.
+const DefaultTimeout = 30 * time.Second
+
+// ProcResult and Result re-export the shared outcome vocabulary
+// (see internal/sim).
+type (
+	ProcResult = sim.ProcResult
+	Result     = sim.Result
+)
+
+// Errors returned by Run.
+var (
+	ErrBadConfig       = errors.New("core: invalid configuration")
+	ErrInvariantBroken = errors.New("core: protocol invariant broken")
+)
+
+// validate checks the configuration and returns n.
+func (cfg *Config) validate() (int, error) {
+	if cfg.Partition == nil {
+		return 0, fmt.Errorf("%w: nil partition", ErrBadConfig)
+	}
+	n := cfg.Partition.N()
+	if len(cfg.Proposals) != n {
+		return 0, fmt.Errorf("%w: %d proposals for %d processes", ErrBadConfig, len(cfg.Proposals), n)
+	}
+	for i, v := range cfg.Proposals {
+		if !v.IsBinary() {
+			return 0, fmt.Errorf("%w: proposal of %v is %v, want 0 or 1", ErrBadConfig, model.ProcID(i), v)
+		}
+	}
+	if cfg.Algorithm != LocalCoin && cfg.Algorithm != CommonCoin {
+		return 0, fmt.Errorf("%w: unknown algorithm %d", ErrBadConfig, int(cfg.Algorithm))
+	}
+	if cfg.MaxRounds < 0 {
+		return 0, fmt.Errorf("%w: negative MaxRounds", ErrBadConfig)
+	}
+	return n, nil
+}
+
+// Run executes one consensus instance: it spawns one goroutine per process,
+// wires the cluster memories, network, coins and failure injection, waits
+// for every process to finish (decide, crash, or be aborted at Timeout),
+// and returns the collected outcomes.
+//
+// Run returns an error for invalid configurations and for protocol
+// invariant violations (which indicate a bug, never a legal execution).
+func Run(cfg Config) (*Result, error) {
+	n, err := cfg.validate()
+	if err != nil {
+		return nil, err
+	}
+	part := cfg.Partition
+
+	var ctr metrics.Counters
+	netOpts := []netsim.Option{
+		netsim.WithSeed(uint64(cfg.Seed) ^ 0xa076_1d64_78bd_642f),
+		netsim.WithCounters(&ctr),
+	}
+	if cfg.MaxDelay > 0 {
+		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
+	}
+	nw, err := netsim.New(n, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+
+	// One memory and one CONS array per cluster.
+	arrays := make([]*consensusobj.Array, part.M())
+	for x := range arrays {
+		arrays[x] = consensusobj.NewArray(shmem.NewMemory(), "CONS")
+	}
+
+	var commonCoin coin.Common = coin.NewSplitMixCommon(uint64(cfg.Seed) ^ 0x2545_f491_4f6c_dd1d)
+	if cfg.CommonCoinOverride != nil {
+		commonCoin = cfg.CommonCoinOverride
+	}
+
+	done := make(chan struct{})
+	outcomes := make([]outcome, n)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		id := model.ProcID(i)
+		var localCoin coin.Local
+		if cfg.LocalCoinOverride != nil {
+			localCoin = cfg.LocalCoinOverride(id)
+		} else {
+			localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
+		}
+		s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x6c62_272e_07bb_0142, id)
+		p := &proc{
+			id:            id,
+			part:          part,
+			net:           nw,
+			cons:          arrays[part.ClusterOf(id)],
+			local:         localCoin,
+			common:        commonCoin,
+			sched:         cfg.Crashes,
+			ctr:           &ctr,
+			log:           cfg.Trace,
+			done:          done,
+			rng:           rand.New(rand.NewPCG(s1, s2)),
+			maxRounds:     cfg.MaxRounds,
+			pending:       make(map[phaseKey][]bufferedMsg),
+			ablateClosure: cfg.AblateClosure,
+			ablateCluster: cfg.AblateClusterConsensus,
+		}
+		proposal := cfg.Proposals[i]
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			switch cfg.Algorithm {
+			case LocalCoin:
+				outcomes[p.id] = p.runLocalCoin(proposal)
+			case CommonCoin:
+				outcomes[p.id] = p.runCommonCoin(proposal)
+			}
+			nw.CloseInbox(p.id)
+		}(p)
+	}
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	timer := time.NewTimer(timeout)
+	select {
+	case <-finished:
+		timer.Stop()
+	case <-timer.C:
+		close(done) // abort blocked processes; they end as StatusBlocked
+		<-finished
+	}
+	elapsed := time.Since(start)
+	nw.Shutdown()
+
+	res := &Result{
+		Procs:           make([]ProcResult, n),
+		Metrics:         ctr.Read(),
+		ConsInvocations: make([]int64, part.M()),
+		ConsAllocations: make([]int64, part.M()),
+		Elapsed:         elapsed,
+	}
+	for i, o := range outcomes {
+		if o.status == StatusFailed {
+			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
+		}
+		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Round: o.round}
+	}
+	for x := range arrays {
+		res.ConsInvocations[x] = arrays[x].Invocations()
+		res.ConsAllocations[x] = arrays[x].Allocations()
+	}
+	return res, nil
+}

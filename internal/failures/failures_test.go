@@ -1,0 +1,228 @@
+package failures
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"allforone/internal/model"
+)
+
+func TestPointCompare(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		a, b Point
+		want int
+	}{
+		{"equal", Point{1, 1, StageRoundStart}, Point{1, 1, StageRoundStart}, 0},
+		{"round dominates", Point{1, 2, StageBeforeDecide}, Point{2, 1, StageRoundStart}, -1},
+		{"phase dominates stage", Point{3, 1, StageBeforeDecide}, Point{3, 2, StageRoundStart}, -1},
+		{"stage order", Point{3, 1, StageAfterClusterConsensus}, Point{3, 1, StageMidBroadcast}, -1},
+		{"reverse", Point{5, 1, StageRoundStart}, Point{4, 2, StageBeforeDecide}, 1},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tt.a.Compare(tt.b); got != tt.want {
+				t.Errorf("Compare(%v,%v) = %d, want %d", tt.a, tt.b, got, tt.want)
+			}
+			if got := tt.b.Compare(tt.a); got != -tt.want {
+				t.Errorf("Compare(%v,%v) = %d, want %d (antisymmetry)", tt.b, tt.a, got, -tt.want)
+			}
+		})
+	}
+}
+
+func TestStageString(t *testing.T) {
+	t.Parallel()
+	if got := StageMidBroadcast.String(); got != "mid-broadcast" {
+		t.Errorf("String = %q", got)
+	}
+	if got := Stage(99).String(); got != "Stage(99)" {
+		t.Errorf("String = %q", got)
+	}
+	if got := (Point{3, 1, StageMidBroadcast}).String(); got != "r3/ph1/mid-broadcast" {
+		t.Errorf("Point.String = %q", got)
+	}
+}
+
+func TestScheduleSetValidation(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(4)
+	valid := Crash{At: Point{1, 1, StageRoundStart}}
+	if err := s.Set(0, valid); err != nil {
+		t.Errorf("valid Set: %v", err)
+	}
+	if err := s.Set(4, valid); err == nil {
+		t.Error("out-of-range process accepted")
+	}
+	if err := s.Set(-1, valid); err == nil {
+		t.Error("negative process accepted")
+	}
+	if err := s.Set(1, Crash{At: Point{0, 1, StageRoundStart}}); err == nil {
+		t.Error("round 0 accepted")
+	}
+	if err := s.Set(1, Crash{At: Point{1, 0, StageRoundStart}}); err == nil {
+		t.Error("phase 0 accepted")
+	}
+	if err := s.Set(1, Crash{At: Point{1, 1, Stage(0)}}); err == nil {
+		t.Error("stage 0 accepted")
+	}
+	if err := s.Set(1, Crash{At: Point{1, 1, Stage(99)}}); err == nil {
+		t.Error("stage 99 accepted")
+	}
+}
+
+func TestShouldCrashAtOrPastPoint(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(3)
+	if err := s.Set(1, Crash{At: Point{2, 1, StageMidBroadcast}}); err != nil {
+		t.Fatal(err)
+	}
+	tests := []struct {
+		pt   Point
+		want bool
+	}{
+		{Point{1, 2, StageBeforeDecide}, false},
+		{Point{2, 1, StageAfterClusterConsensus}, false},
+		{Point{2, 1, StageMidBroadcast}, true},
+		{Point{2, 1, StageAfterExchange}, true},
+		{Point{3, 1, StageRoundStart}, true},
+	}
+	for _, tt := range tests {
+		if got := s.ShouldCrash(1, tt.pt); got != tt.want {
+			t.Errorf("ShouldCrash(p2, %v) = %v, want %v", tt.pt, got, tt.want)
+		}
+	}
+	// Unscheduled process never crashes.
+	if s.ShouldCrash(0, Point{9, 2, StageBeforeDecide}) {
+		t.Error("unscheduled process reported as crashing")
+	}
+	// Nil schedule never crashes anyone.
+	var nilSched *Schedule
+	if nilSched.ShouldCrash(0, Point{1, 1, StageRoundStart}) {
+		t.Error("nil schedule crashed a process")
+	}
+	if nilSched.Len() != 0 {
+		t.Error("nil schedule Len != 0")
+	}
+	if _, ok := nilSched.Plan(0); ok {
+		t.Error("nil schedule has a plan")
+	}
+}
+
+func TestCrashedSet(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(5)
+	pt := Point{1, 1, StageRoundStart}
+	for _, p := range []model.ProcID{0, 3} {
+		if err := s.Set(p, Crash{At: pt}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	set := s.Crashed()
+	if set.Count() != 2 || !set.Contains(0) || !set.Contains(3) {
+		t.Errorf("Crashed = %v", set)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d, want 2", s.Len())
+	}
+	var nilSched *Schedule
+	if nilSched.Crashed().Count() != 0 {
+		t.Error("nil schedule Crashed should be empty")
+	}
+}
+
+func TestCrashAllExcept(t *testing.T) {
+	t.Parallel()
+	pt := Point{1, 1, StageAfterClusterConsensus}
+	s, err := CrashAllExcept(7, pt, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 6 {
+		t.Errorf("Len = %d, want 6", s.Len())
+	}
+	if s.Crashed().Contains(2) {
+		t.Error("survivor p3 scheduled to crash")
+	}
+	if _, ok := s.Plan(0); !ok {
+		t.Error("p1 should be scheduled")
+	}
+	if _, err := CrashAllExcept(3, pt, 5); err == nil {
+		t.Error("out-of-range survivor accepted")
+	}
+}
+
+func TestGenRandom(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	s, err := GenRandom(rng, 10, 4, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 4 {
+		t.Errorf("Len = %d, want 4", s.Len())
+	}
+	for _, p := range s.Crashed().Members() {
+		c, ok := s.Plan(p)
+		if !ok {
+			t.Fatalf("missing plan for %v", p)
+		}
+		if c.At.Round < 1 || c.At.Round > 3 {
+			t.Errorf("round %d out of range", c.At.Round)
+		}
+		if c.At.Phase < 1 || c.At.Phase > 2 {
+			t.Errorf("phase %d out of range", c.At.Phase)
+		}
+		if c.At.Stage == StageRoundStart && c.At.Phase != 1 {
+			t.Errorf("round-start crash in phase %d", c.At.Phase)
+		}
+	}
+	if _, err := GenRandom(rng, 5, 6, 1, 1); err == nil {
+		t.Error("k > n accepted")
+	}
+	if _, err := GenRandom(rng, 5, -1, 1, 1); err == nil {
+		t.Error("negative k accepted")
+	}
+	if _, err := GenRandom(rng, 5, 1, 0, 1); err == nil {
+		t.Error("maxRound 0 accepted")
+	}
+}
+
+func TestGenRandomZeroCrashes(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 4))
+	s, err := GenRandom(rng, 5, 0, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Len() != 0 {
+		t.Errorf("Len = %d, want 0", s.Len())
+	}
+}
+
+func TestRandomSubset(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(9, 9))
+	const n, trials = 20, 200
+	total := 0
+	for i := 0; i < trials; i++ {
+		sub := RandomSubset(rng, n)
+		seen := map[model.ProcID]bool{}
+		for _, p := range sub {
+			if int(p) < 0 || int(p) >= n {
+				t.Fatalf("member %v out of range", p)
+			}
+			if seen[p] {
+				t.Fatalf("duplicate member %v", p)
+			}
+			seen[p] = true
+		}
+		total += len(sub)
+	}
+	mean := float64(total) / trials
+	if mean < float64(n)*0.35 || mean > float64(n)*0.65 {
+		t.Errorf("mean subset size = %v, want ≈%v", mean, n/2)
+	}
+}

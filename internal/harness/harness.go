@@ -1,0 +1,165 @@
+// Package harness runs the repository's experiment suite: for every figure
+// and quantitative claim of the paper (there are no result tables — it is a
+// theory paper, see DESIGN.md §2), a harness function executes seeded
+// multi-trial simulations and renders the measurement as a text table, the
+// way the paper's evaluation section would report it.
+//
+// Experiments:
+//
+//	E1 — Figure 1 decompositions: cost profile of both n=7, m=3 layouts.
+//	E2 — majority crash: one survivor in a majority cluster decides
+//	     (hybrid) while pure message passing blocks.
+//	E3 — common-coin round distribution: expected ≈ 2 rounds (§IV).
+//	E4 — rounds vs cluster count at fixed n (m=n degenerates to Ben-Or).
+//	E5 — consensus-object cost: hybrid (m per phase, 1 per process) vs
+//	     m&m (n per phase, α_i+1 per process) (§III-C).
+//	E6 — message complexity: Θ(n²) messages per round.
+//	E7 — extreme configurations: m=1 vs native shared memory, m=n vs
+//	     native Ben-Or (§II-A).
+//	E8 — indulgence: no decision, and no unsafe decision, when the
+//	     liveness condition fails (§III-B).
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"time"
+
+	"allforone/internal/core"
+	"allforone/internal/model"
+	"allforone/internal/sim"
+	"allforone/internal/stats"
+)
+
+// Options tunes an experiment run.
+type Options struct {
+	// Trials is the number of seeded runs per table cell (default 50).
+	Trials int
+	// SeedBase offsets every trial's seed, for independent repetitions.
+	SeedBase int64
+	// Timeout bounds each individual run (default 20s; blocked-run
+	// experiments use their own shorter bound).
+	Timeout time.Duration
+}
+
+// withDefaults fills unset options.
+func (o Options) withDefaults() Options {
+	if o.Trials <= 0 {
+		o.Trials = 50
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 20 * time.Second
+	}
+	return o
+}
+
+// Report is one experiment's outcome: a rendered table plus keyed scalar
+// findings that tests and benchmarks assert against without parsing text.
+type Report struct {
+	ID       string
+	Title    string
+	Table    *stats.Table
+	Findings map[string]float64
+}
+
+// ErrNoData is returned when an experiment produced no usable trials.
+var ErrNoData = errors.New("harness: no data")
+
+// trialSummary aggregates per-trial measurements of repeated runs of one
+// configuration.
+type trialSummary struct {
+	rounds    []float64 // max decision round per trial (decided trials only)
+	msgs      []float64 // messages sent per trial
+	consInv   []float64 // consensus-object invocations per trial
+	coinFlips []float64
+	decided   int // trials where every live process decided
+	blocked   int // trials with at least one blocked process
+	trials    int
+}
+
+// proposalsFor draws a proposal vector: mode "unanimous1", "unanimous0",
+// "split" (alternating), or "random" (seeded).
+func proposalsFor(mode string, n int, rng *rand.Rand) []model.Value {
+	out := make([]model.Value, n)
+	for i := range out {
+		switch mode {
+		case "unanimous1":
+			out[i] = model.One
+		case "unanimous0":
+			out[i] = model.Zero
+		case "split":
+			out[i] = model.Value(int8(i % 2))
+		default:
+			out[i] = model.BitToValue(rng.Uint64())
+		}
+	}
+	return out
+}
+
+// runHybridTrials runs `trials` seeded executions of the hybrid algorithm
+// and aggregates their costs. The cfgFn hook lets callers adjust the config
+// per trial (e.g. attach crash schedules).
+func runHybridTrials(part *model.Partition, algo core.Algorithm, mode string, opts Options,
+	cfgFn func(trial int, cfg *core.Config)) (*trialSummary, error) {
+	opts = opts.withDefaults()
+	rng := rand.New(rand.NewPCG(uint64(opts.SeedBase)+0x9e37, 0x79b9))
+	sum := &trialSummary{trials: opts.Trials}
+	for trial := 0; trial < opts.Trials; trial++ {
+		cfg := core.Config{
+			Partition: part,
+			Proposals: proposalsFor(mode, part.N(), rng),
+			Algorithm: algo,
+			Seed:      opts.SeedBase + int64(trial)*1_000_003,
+			MaxRounds: 10_000,
+			Timeout:   opts.Timeout,
+		}
+		if cfgFn != nil {
+			cfgFn(trial, &cfg)
+		}
+		res, err := core.Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
+		}
+		if err := res.CheckValidity(cfg.Proposals); err != nil {
+			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
+		}
+		sum.observe(res)
+	}
+	return sum, nil
+}
+
+// observe folds one run into the summary.
+func (s *trialSummary) observe(res *sim.Result) {
+	if res.AllLiveDecided() {
+		s.decided++
+		s.rounds = append(s.rounds, float64(res.MaxDecisionRound()))
+	}
+	if res.CountStatus(sim.StatusBlocked) > 0 {
+		s.blocked++
+	}
+	s.msgs = append(s.msgs, float64(res.Metrics.MsgsSent))
+	s.consInv = append(s.consInv, float64(res.Metrics.ConsInvocations))
+	s.coinFlips = append(s.coinFlips, float64(res.Metrics.CoinFlips))
+}
+
+// meanOr returns the mean of xs or fallback for empty samples.
+func meanOr(xs []float64, fallback float64) float64 {
+	m, err := stats.Mean(xs)
+	if err != nil {
+		return fallback
+	}
+	return m
+}
+
+// p95Or returns the 95th percentile of xs or fallback for empty samples.
+func p95Or(xs []float64, fallback float64) float64 {
+	v, err := stats.Percentile(xs, 95)
+	if err != nil {
+		return fallback
+	}
+	return v
+}

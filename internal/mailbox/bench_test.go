@@ -1,0 +1,55 @@
+package mailbox
+
+import "testing"
+
+func BenchmarkPutGetSequential(b *testing.B) {
+	m := New[int]()
+	done := make(chan struct{})
+	for i := 0; i < b.N; i++ {
+		m.Put(i)
+		if _, ok := m.Get(done); !ok {
+			b.Fatal("Get failed")
+		}
+	}
+}
+
+func BenchmarkPutBurstThenDrain(b *testing.B) {
+	const burst = 256
+	done := make(chan struct{})
+	for i := 0; i < b.N; i++ {
+		m := New[int]()
+		for j := 0; j < burst; j++ {
+			m.Put(j)
+		}
+		for j := 0; j < burst; j++ {
+			if _, ok := m.Get(done); !ok {
+				b.Fatal("Get failed")
+			}
+		}
+	}
+}
+
+func BenchmarkProducersConsumer(b *testing.B) {
+	m := New[int]()
+	stop := make(chan struct{})
+	go func() {
+		done := make(chan struct{})
+		for {
+			if _, ok := m.Get(done); !ok {
+				return
+			}
+			select {
+			case <-stop:
+				return
+			default:
+			}
+		}
+	}()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			m.Put(1)
+		}
+	})
+	close(stop)
+	m.Close()
+}

@@ -1,0 +1,128 @@
+// Package mailbox provides an unbounded FIFO mailbox, the building block of
+// the simulated message-passing system.
+//
+// Unboundedness is a correctness requirement, not a convenience: the
+// model's channels are reliable and asynchronous, so a sender must never
+// block on a slow (or decided, or crashed) receiver — otherwise the
+// simulation would introduce flow-control synchrony absent from the model
+// and could deadlock executions the paper's algorithms tolerate.
+package mailbox
+
+import "sync"
+
+// Mailbox is an unbounded multi-producer single-consumer FIFO queue with
+// close semantics. Producers never block; the consumer blocks in Get until
+// an item arrives or the mailbox closes. Per the "channel size is one or
+// none" guidance, the only channel inside is a size-one signal channel.
+type Mailbox[T any] struct {
+	mu     sync.Mutex
+	queue  []T
+	signal chan struct{} // capacity 1: "queue may be non-empty"
+	closed bool
+}
+
+// New returns an open, empty mailbox.
+func New[T any]() *Mailbox[T] {
+	return &Mailbox[T]{signal: make(chan struct{}, 1)}
+}
+
+// Put appends item. Put on a closed mailbox is a silent no-op: in the
+// simulation a message to a finished process is simply never consumed,
+// which matches the model (the process has stopped taking steps).
+// Put never blocks. It reports whether the item was enqueued.
+func (m *Mailbox[T]) Put(item T) bool {
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return false
+	}
+	m.queue = append(m.queue, item)
+	m.mu.Unlock()
+	select {
+	case m.signal <- struct{}{}:
+	default:
+	}
+	return true
+}
+
+// Get removes and returns the oldest item. It blocks until an item is
+// available, the mailbox is closed, or done is closed; the boolean reports
+// whether an item was returned.
+func (m *Mailbox[T]) Get(done <-chan struct{}) (T, bool) {
+	var zero T
+	for {
+		m.mu.Lock()
+		if len(m.queue) > 0 {
+			item := m.queue[0]
+			// Release the backing array cell for GC.
+			m.queue[0] = zero
+			m.queue = m.queue[1:]
+			more := len(m.queue) > 0
+			m.mu.Unlock()
+			if more {
+				// Re-arm the signal so a later Get doesn't miss items
+				// enqueued while we held the only token.
+				select {
+				case m.signal <- struct{}{}:
+				default:
+				}
+			}
+			return item, true
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return zero, false
+		}
+		m.mu.Unlock()
+
+		select {
+		case <-m.signal:
+		case <-done:
+			return zero, false
+		}
+	}
+}
+
+// TryGet removes and returns the oldest item without blocking.
+func (m *Mailbox[T]) TryGet() (T, bool) {
+	var zero T
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.queue) == 0 {
+		return zero, false
+	}
+	item := m.queue[0]
+	m.queue[0] = zero
+	m.queue = m.queue[1:]
+	return item, true
+}
+
+// Len returns the number of queued items.
+func (m *Mailbox[T]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.queue)
+}
+
+// Close closes the mailbox: future Puts are dropped and Gets drain the
+// remaining items, then report false. Close is idempotent.
+func (m *Mailbox[T]) Close() {
+	m.mu.Lock()
+	already := m.closed
+	m.closed = true
+	m.mu.Unlock()
+	if !already {
+		// Wake a blocked consumer so it can observe the close.
+		select {
+		case m.signal <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// Closed reports whether Close has been called.
+func (m *Mailbox[T]) Closed() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.closed
+}

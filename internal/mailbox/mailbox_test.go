@@ -1,0 +1,227 @@
+package mailbox
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestPutGetFIFO(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	for i := 0; i < 10; i++ {
+		if !m.Put(i) {
+			t.Fatalf("Put(%d) rejected", i)
+		}
+	}
+	if got := m.Len(); got != 10 {
+		t.Fatalf("Len = %d, want 10", got)
+	}
+	done := make(chan struct{})
+	for i := 0; i < 10; i++ {
+		v, ok := m.Get(done)
+		if !ok || v != i {
+			t.Fatalf("Get #%d = %d,%v, want %d,true", i, v, ok, i)
+		}
+	}
+	if got := m.Len(); got != 0 {
+		t.Errorf("Len after drain = %d, want 0", got)
+	}
+}
+
+func TestGetBlocksUntilPut(t *testing.T) {
+	t.Parallel()
+	m := New[string]()
+	done := make(chan struct{})
+	got := make(chan string, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, ok := m.Get(done)
+		if ok {
+			got <- v
+		}
+	}()
+	time.Sleep(10 * time.Millisecond) // let the consumer block
+	m.Put("hello")
+	select {
+	case v := <-got:
+		if v != "hello" {
+			t.Errorf("Get = %q, want hello", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not wake up after Put")
+	}
+	wg.Wait()
+}
+
+func TestGetUnblocksOnDone(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	done := make(chan struct{})
+	result := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, ok := m.Get(done)
+		result <- ok
+	}()
+	close(done)
+	select {
+	case ok := <-result:
+		if ok {
+			t.Error("Get returned ok=true after done closed with empty queue")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not observe done")
+	}
+	wg.Wait()
+}
+
+func TestGetUnblocksOnClose(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	done := make(chan struct{})
+	result := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, ok := m.Get(done)
+		result <- ok
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Close()
+	select {
+	case ok := <-result:
+		if ok {
+			t.Error("Get returned ok=true on closed empty mailbox")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get did not observe Close")
+	}
+	wg.Wait()
+}
+
+func TestCloseDrainsThenStops(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	m.Put(1)
+	m.Put(2)
+	m.Close()
+	if m.Put(3) {
+		t.Error("Put after Close accepted")
+	}
+	done := make(chan struct{})
+	if v, ok := m.Get(done); !ok || v != 1 {
+		t.Fatalf("Get = %d,%v, want 1,true", v, ok)
+	}
+	if v, ok := m.Get(done); !ok || v != 2 {
+		t.Fatalf("Get = %d,%v, want 2,true", v, ok)
+	}
+	if _, ok := m.Get(done); ok {
+		t.Error("Get on drained closed mailbox returned ok=true")
+	}
+	if !m.Closed() {
+		t.Error("Closed() = false after Close")
+	}
+	m.Close() // idempotent
+}
+
+func TestTryGet(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	if _, ok := m.TryGet(); ok {
+		t.Error("TryGet on empty mailbox returned ok")
+	}
+	m.Put(5)
+	if v, ok := m.TryGet(); !ok || v != 5 {
+		t.Errorf("TryGet = %d,%v, want 5,true", v, ok)
+	}
+}
+
+// Many producers, one consumer: every item is delivered exactly once and
+// per-producer order is preserved.
+func TestManyProducersExactlyOncePerSenderFIFO(t *testing.T) {
+	t.Parallel()
+	type item struct{ producer, seq int }
+	m := New[item]()
+	const producers, perProducer = 8, 500
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for s := 0; s < perProducer; s++ {
+				m.Put(item{p, s})
+			}
+		}(p)
+	}
+	go func() {
+		wg.Wait()
+		m.Close()
+	}()
+
+	done := make(chan struct{})
+	lastSeq := make([]int, producers)
+	for i := range lastSeq {
+		lastSeq[i] = -1
+	}
+	count := 0
+	for {
+		it, ok := m.Get(done)
+		if !ok {
+			break
+		}
+		count++
+		if it.seq != lastSeq[it.producer]+1 {
+			t.Fatalf("producer %d: got seq %d after %d (FIFO per sender violated)",
+				it.producer, it.seq, lastSeq[it.producer])
+		}
+		lastSeq[it.producer] = it.seq
+	}
+	if count != producers*perProducer {
+		t.Errorf("delivered %d items, want %d", count, producers*perProducer)
+	}
+}
+
+// Regression: a token left in the signal channel must not cause a lost
+// wakeup or a phantom item.
+func TestSignalRearmNoLostWakeup(t *testing.T) {
+	t.Parallel()
+	m := New[int]()
+	done := make(chan struct{})
+	m.Put(1)
+	m.Put(2)
+	if v, _ := m.Get(done); v != 1 {
+		t.Fatal("want 1")
+	}
+	if v, _ := m.Get(done); v != 2 {
+		t.Fatal("want 2")
+	}
+	// Queue is empty; a stale token may remain. The next Get must still
+	// block and then wake on a fresh Put.
+	got := make(chan int, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		v, ok := m.Get(done)
+		if ok {
+			got <- v
+		}
+	}()
+	time.Sleep(5 * time.Millisecond)
+	m.Put(3)
+	select {
+	case v := <-got:
+		if v != 3 {
+			t.Errorf("Get = %d, want 3", v)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("lost wakeup after signal re-arm")
+	}
+	wg.Wait()
+}

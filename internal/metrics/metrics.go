@@ -1,0 +1,77 @@
+// Package metrics collects the cost counters the paper reasons about:
+// messages exchanged by the communication pattern, consensus-object
+// invocations inside clusters (the scalability currency of §III-C), rounds
+// executed, and coin flips. Counters are updated concurrently by all
+// simulated processes and snapshotted by the harness at the end of a run.
+package metrics
+
+import "sync/atomic"
+
+// Counters aggregates the cost of one consensus execution. The zero value
+// is ready for use. All methods are safe for concurrent use.
+type Counters struct {
+	msgsSent        atomic.Int64
+	msgsDelivered   atomic.Int64
+	broadcasts      atomic.Int64
+	decideMsgs      atomic.Int64
+	consInvocations atomic.Int64
+	coinFlips       atomic.Int64
+	roundsTotal     atomic.Int64
+	maxRound        atomic.Int64
+}
+
+// Snapshot is an immutable copy of the counters at one instant.
+type Snapshot struct {
+	MsgsSent        int64 // point-to-point sends (a broadcast to n counts n)
+	MsgsDelivered   int64 // messages consumed by receivers
+	Broadcasts      int64 // broadcast macro-operation invocations
+	DecideMsgs      int64 // DECIDE messages sent
+	ConsInvocations int64 // intra-cluster consensus-object Propose calls
+	CoinFlips       int64 // local-coin flips (common-coin reads are free)
+	RoundsTotal     int64 // sum over processes of executed rounds
+	MaxRound        int64 // highest round reached by any process
+}
+
+// AddMsgsSent records k point-to-point sends.
+func (c *Counters) AddMsgsSent(k int64) { c.msgsSent.Add(k) }
+
+// AddMsgsDelivered records k deliveries.
+func (c *Counters) AddMsgsDelivered(k int64) { c.msgsDelivered.Add(k) }
+
+// AddBroadcast records one broadcast macro-operation.
+func (c *Counters) AddBroadcast() { c.broadcasts.Add(1) }
+
+// AddDecideMsgs records k DECIDE messages.
+func (c *Counters) AddDecideMsgs(k int64) { c.decideMsgs.Add(k) }
+
+// AddConsInvocations records k consensus-object Propose calls.
+func (c *Counters) AddConsInvocations(k int64) { c.consInvocations.Add(k) }
+
+// AddCoinFlips records k local-coin flips.
+func (c *Counters) AddCoinFlips(k int64) { c.coinFlips.Add(k) }
+
+// ObserveRound records that some process completed round r (1-based).
+func (c *Counters) ObserveRound(r int64) {
+	c.roundsTotal.Add(1)
+	for {
+		cur := c.maxRound.Load()
+		if r <= cur || c.maxRound.CompareAndSwap(cur, r) {
+			return
+		}
+	}
+}
+
+// Read returns a consistent-enough snapshot for end-of-run reporting (each
+// field is read atomically; the run is quiescent when the harness reads).
+func (c *Counters) Read() Snapshot {
+	return Snapshot{
+		MsgsSent:        c.msgsSent.Load(),
+		MsgsDelivered:   c.msgsDelivered.Load(),
+		Broadcasts:      c.broadcasts.Load(),
+		DecideMsgs:      c.decideMsgs.Load(),
+		ConsInvocations: c.consInvocations.Load(),
+		CoinFlips:       c.coinFlips.Load(),
+		RoundsTotal:     c.roundsTotal.Load(),
+		MaxRound:        c.maxRound.Load(),
+	}
+}

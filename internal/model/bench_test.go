@@ -1,0 +1,66 @@
+package model
+
+import "testing"
+
+func BenchmarkProcSetAddContains(b *testing.B) {
+	s := NewProcSet(256)
+	for i := 0; i < b.N; i++ {
+		p := ProcID(i & 255)
+		s.Add(p)
+		_ = s.Contains(p)
+	}
+}
+
+func BenchmarkProcSetUnionInto(b *testing.B) {
+	a := NewProcSet(1024)
+	c := NewProcSet(1024)
+	for i := 0; i < 1024; i += 3 {
+		c.Add(ProcID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.UnionInto(c)
+	}
+}
+
+func BenchmarkProcSetIsMajority(b *testing.B) {
+	s := NewProcSet(1024)
+	for i := 0; i < 600; i++ {
+		s.Add(ProcID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.IsMajority()
+	}
+}
+
+func BenchmarkPartitionCluster(b *testing.B) {
+	p := Fig1Right()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Cluster(ProcID(i % 7))
+	}
+}
+
+func BenchmarkLivenessHolds(b *testing.B) {
+	p, err := Blocks(64, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	crashed := NewProcSet(64)
+	for i := 0; i < 40; i++ {
+		crashed.Add(ProcID(i))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.LivenessHolds(crashed)
+	}
+}
+
+func BenchmarkParsePartition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Parse("1-8/9-16/17-24/25-32"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

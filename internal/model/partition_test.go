@@ -1,0 +1,291 @@
+package model
+
+import (
+	"errors"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestNewPartitionValid(t *testing.T) {
+	t.Parallel()
+	p, err := NewPartition([][]int{{0, 1, 2}, {3, 4}, {5, 6}})
+	if err != nil {
+		t.Fatalf("NewPartition: %v", err)
+	}
+	if p.N() != 7 || p.M() != 3 {
+		t.Fatalf("N=%d M=%d, want 7 and 3", p.N(), p.M())
+	}
+	if got := p.ClusterOf(4); got != 1 {
+		t.Errorf("ClusterOf(p5) = %v, want P[2]", got)
+	}
+	if got := p.Size(0); got != 3 {
+		t.Errorf("Size(P[1]) = %d, want 3", got)
+	}
+}
+
+func TestNewPartitionErrors(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name     string
+		clusters [][]int
+		wantErr  error
+	}{
+		{"no clusters", nil, ErrEmptyPartition},
+		{"empty cluster", [][]int{{0}, {}}, ErrEmptyCluster},
+		{"duplicate process", [][]int{{0, 1}, {1}}, ErrNotPartition},
+		{"gap in indexes", [][]int{{0}, {2}}, ErrNotPartition},
+		{"negative index", [][]int{{-1, 0}}, ErrNotPartition},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			_, err := NewPartition(tt.clusters)
+			if !errors.Is(err, tt.wantErr) {
+				t.Errorf("NewPartition error = %v, want %v", err, tt.wantErr)
+			}
+		})
+	}
+}
+
+func TestMustPartitionPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustPartition on invalid input did not panic")
+		}
+	}()
+	MustPartition([][]int{{}})
+}
+
+func TestSingletonsAndSingleCluster(t *testing.T) {
+	t.Parallel()
+	s := Singletons(5)
+	if s.N() != 5 || s.M() != 5 {
+		t.Fatalf("Singletons: N=%d M=%d", s.N(), s.M())
+	}
+	for i := 0; i < 5; i++ {
+		if got := s.Cluster(ProcID(i)).Count(); got != 1 {
+			t.Errorf("Singletons cluster(%d) size = %d, want 1", i, got)
+		}
+	}
+	c := SingleCluster(5)
+	if c.N() != 5 || c.M() != 1 {
+		t.Fatalf("SingleCluster: N=%d M=%d", c.N(), c.M())
+	}
+	if got := c.Cluster(3).Count(); got != 5 {
+		t.Errorf("SingleCluster cluster size = %d, want 5", got)
+	}
+}
+
+func TestBlocks(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		n, m      int
+		wantSizes []int
+	}{
+		{7, 3, []int{3, 2, 2}},
+		{6, 3, []int{2, 2, 2}},
+		{5, 1, []int{5}},
+		{4, 4, []int{1, 1, 1, 1}},
+		{10, 4, []int{3, 3, 2, 2}},
+	}
+	for _, tt := range tests {
+		p, err := Blocks(tt.n, tt.m)
+		if err != nil {
+			t.Fatalf("Blocks(%d,%d): %v", tt.n, tt.m, err)
+		}
+		got := p.Sizes()
+		for i := range tt.wantSizes {
+			if got[i] != tt.wantSizes[i] {
+				t.Errorf("Blocks(%d,%d) sizes = %v, want %v", tt.n, tt.m, got, tt.wantSizes)
+				break
+			}
+		}
+	}
+	if _, err := Blocks(3, 4); err == nil {
+		t.Error("Blocks(3,4) should fail")
+	}
+	if _, err := Blocks(3, 0); err == nil {
+		t.Error("Blocks(3,0) should fail")
+	}
+}
+
+func TestFig1Decompositions(t *testing.T) {
+	t.Parallel()
+	left := Fig1Left()
+	if left.N() != 7 || left.M() != 3 {
+		t.Fatalf("Fig1Left: N=%d M=%d", left.N(), left.M())
+	}
+	wantLeft := "P[1]={p1,p2,p3} P[2]={p4,p5} P[3]={p6,p7}"
+	if got := left.String(); got != wantLeft {
+		t.Errorf("Fig1Left = %q, want %q", got, wantLeft)
+	}
+	if _, ok := left.MajorityCluster(); ok {
+		t.Error("Fig1Left should have no majority cluster")
+	}
+
+	right := Fig1Right()
+	wantRight := "P[1]={p1} P[2]={p2,p3,p4,p5} P[3]={p6,p7}"
+	if got := right.String(); got != wantRight {
+		t.Errorf("Fig1Right = %q, want %q", got, wantRight)
+	}
+	x, ok := right.MajorityCluster()
+	if !ok || x != 1 {
+		t.Errorf("Fig1Right majority cluster = %v,%v, want P[2],true", x, ok)
+	}
+}
+
+func TestParse(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		spec    string
+		wantStr string
+		wantErr bool
+	}{
+		{"fig1 left", "1-3/4-5/6-7", "P[1]={p1,p2,p3} P[2]={p4,p5} P[3]={p6,p7}", false},
+		{"fig1 right", "1/2-5/6-7", "P[1]={p1} P[2]={p2,p3,p4,p5} P[3]={p6,p7}", false},
+		{"commas", "1,2/3", "P[1]={p1,p2} P[2]={p3}", false},
+		{"mixed", "1,3/2,4-5", "P[1]={p1,p3} P[2]={p2,p4,p5}", false},
+		{"empty", "", "", true},
+		{"blank cluster", "1//2", "", true},
+		{"bad number", "a/1", "", true},
+		{"inverted range", "3-1", "", true},
+		{"bad range start", "x-3", "", true},
+		{"bad range end", "1-y", "", true},
+		{"duplicate", "1,1/2", "", true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Parse(tt.spec)
+			if tt.wantErr {
+				if err == nil {
+					t.Fatalf("Parse(%q) succeeded, want error", tt.spec)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("Parse(%q): %v", tt.spec, err)
+			}
+			if got := p.String(); got != tt.wantStr {
+				t.Errorf("Parse(%q) = %q, want %q", tt.spec, got, tt.wantStr)
+			}
+		})
+	}
+}
+
+func TestSpecRoundTrip(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(7, 11))
+	for trial := 0; trial < 100; trial++ {
+		n := 1 + rng.IntN(40)
+		m := 1 + rng.IntN(n)
+		p, err := Blocks(n, m)
+		if err != nil {
+			t.Fatalf("Blocks(%d,%d): %v", n, m, err)
+		}
+		spec := p.Spec()
+		q, err := Parse(spec)
+		if err != nil {
+			t.Fatalf("Parse(Spec()=%q): %v", spec, err)
+		}
+		if q.String() != p.String() {
+			t.Fatalf("round trip mismatch: %q vs %q", q, p)
+		}
+	}
+}
+
+func TestSpecNonContiguous(t *testing.T) {
+	t.Parallel()
+	p := MustPartition([][]int{{0, 2, 3}, {1, 4}})
+	if got := p.Spec(); got != "1,3-4/2,5" {
+		t.Errorf("Spec = %q, want 1,3-4/2,5", got)
+	}
+	q, err := Parse(p.Spec())
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if q.String() != p.String() {
+		t.Errorf("round trip: %q vs %q", q, p)
+	}
+}
+
+func TestClusterClosure(t *testing.T) {
+	t.Parallel()
+	p := Fig1Left()
+	set := p.Cluster(1) // p2 is in P[1] = {p1,p2,p3}
+	if got := set.Count(); got != 3 {
+		t.Errorf("cluster(p2) size = %d, want 3", got)
+	}
+	for _, q := range []ProcID{0, 1, 2} {
+		if !set.Contains(q) {
+			t.Errorf("cluster(p2) should contain %v", q)
+		}
+	}
+}
+
+func TestLivenessHolds(t *testing.T) {
+	t.Parallel()
+	crashSet := func(n int, ids ...int) *ProcSet {
+		s := NewProcSet(n)
+		for _, i := range ids {
+			s.Add(ProcID(i))
+		}
+		return s
+	}
+	tests := []struct {
+		name    string
+		p       *Partition
+		crashed *ProcSet
+		want    bool
+	}{
+		{"no crashes", Fig1Left(), nil, true},
+		{"empty crash set", Fig1Left(), crashSet(7), true},
+		// Fig1Right: P[2]={p2..p5} has 4 > 7/2 members. Crash everything
+		// except p3 (index 2): liveness holds via the majority cluster.
+		{"majority cluster one survivor", Fig1Right(), crashSet(7, 0, 1, 3, 4, 5, 6), true},
+		// Crash all of P[2]: survivors cover P[1] (1) + P[3] (2) = 3 ≤ 7/2.
+		{"majority cluster wiped", Fig1Right(), crashSet(7, 1, 2, 3, 4), false},
+		// Fig1Left: survivors in P[1] (3) and P[2] (2) cover 5 > 3.5.
+		{"left two clusters", Fig1Left(), crashSet(7, 1, 2, 4, 5, 6), true},
+		// Fig1Left: only P[2] covered (2) ≤ 3.5.
+		{"left one small cluster", Fig1Left(), crashSet(7, 0, 1, 2, 5, 6), false},
+		// Singletons: classical majority requirement.
+		{"singleton minority crash", Singletons(5), crashSet(5, 0, 1), true},
+		{"singleton majority crash", Singletons(5), crashSet(5, 0, 1, 2), false},
+		// Single cluster: one survivor suffices.
+		{"single cluster one survivor", SingleCluster(5), crashSet(5, 0, 1, 2, 3), true},
+		{"single cluster all crash", SingleCluster(5), crashSet(5, 0, 1, 2, 3, 4), false},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tt.p.LivenessHolds(tt.crashed); got != tt.want {
+				t.Errorf("LivenessHolds = %v, want %v (partition %v, crashed %v)",
+					got, tt.want, tt.p, tt.crashed)
+			}
+		})
+	}
+}
+
+func TestMembersSortedAndShared(t *testing.T) {
+	t.Parallel()
+	p := MustPartition([][]int{{2, 0, 1}, {4, 3}})
+	ms := p.Members(0)
+	for i := 1; i < len(ms); i++ {
+		if ms[i-1] >= ms[i] {
+			t.Fatalf("Members not sorted: %v", ms)
+		}
+	}
+}
+
+func TestProcAndClusterStrings(t *testing.T) {
+	t.Parallel()
+	if got := ProcID(0).String(); got != "p1" {
+		t.Errorf("ProcID(0) = %q, want p1", got)
+	}
+	if got := ClusterID(2).String(); got != "P[3]" {
+		t.Errorf("ClusterID(2) = %q, want P[3]", got)
+	}
+}

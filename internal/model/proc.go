@@ -1,0 +1,18 @@
+package model
+
+import "fmt"
+
+// ProcID identifies a process. IDs are dense 0-based indexes 0 … n-1.
+// The paper writes p_1 … p_n; String renders the 1-based form for
+// human-facing output while all code stays 0-based.
+type ProcID int
+
+// String renders the id in the paper's 1-based notation ("p3").
+func (p ProcID) String() string { return fmt.Sprintf("p%d", int(p)+1) }
+
+// ClusterID identifies a cluster. IDs are dense 0-based indexes 0 … m-1.
+// The paper writes P[1] … P[m]; String renders the 1-based form.
+type ClusterID int
+
+// String renders the id in the paper's 1-based notation ("P[2]").
+func (c ClusterID) String() string { return fmt.Sprintf("P[%d]", int(c)+1) }

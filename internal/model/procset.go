@@ -1,0 +1,148 @@
+package model
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// ProcSet is a set of process indexes backed by a bitmap. It is the
+// workhorse of the msg_exchange communication pattern (Algorithm 1), where
+// each process accumulates the cluster-closure of the senders it has heard
+// from and exits once the closure covers a strict majority of Π.
+//
+// A ProcSet is not safe for concurrent use; each simulated process owns its
+// own sets.
+type ProcSet struct {
+	n     int
+	words []uint64
+}
+
+// NewProcSet returns an empty set over the universe {0 … n-1}.
+func NewProcSet(n int) *ProcSet {
+	if n < 0 {
+		n = 0
+	}
+	return &ProcSet{n: n, words: make([]uint64, (n+63)/64)}
+}
+
+// Universe returns the size n of the universe the set ranges over.
+func (s *ProcSet) Universe() int { return s.n }
+
+// Add inserts p. Out-of-range ids are ignored so that callers can feed
+// untrusted message contents without a bounds check at every site.
+func (s *ProcSet) Add(p ProcID) {
+	i := int(p)
+	if i < 0 || i >= s.n {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// AddAll inserts every id in ps.
+func (s *ProcSet) AddAll(ps []ProcID) {
+	for _, p := range ps {
+		s.Add(p)
+	}
+}
+
+// Contains reports whether p is in the set.
+func (s *ProcSet) Contains(p ProcID) bool {
+	i := int(p)
+	if i < 0 || i >= s.n {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Count returns the cardinality of the set.
+func (s *ProcSet) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// UnionInto adds every member of other into s. The two sets must range over
+// the same universe; mismatched sets are merged over the shorter word span.
+func (s *ProcSet) UnionInto(other *ProcSet) {
+	if other == nil {
+		return
+	}
+	k := len(s.words)
+	if len(other.words) < k {
+		k = len(other.words)
+	}
+	for i := 0; i < k; i++ {
+		s.words[i] |= other.words[i]
+	}
+}
+
+// UnionCount returns |s ∪ other| without materializing the union.
+func (s *ProcSet) UnionCount(other *ProcSet) int {
+	if other == nil {
+		return s.Count()
+	}
+	c := 0
+	k := len(s.words)
+	if len(other.words) > k {
+		k = len(other.words)
+	}
+	for i := 0; i < k; i++ {
+		var a, b uint64
+		if i < len(s.words) {
+			a = s.words[i]
+		}
+		if i < len(other.words) {
+			b = other.words[i]
+		}
+		c += bits.OnesCount64(a | b)
+	}
+	return c
+}
+
+// IsMajority reports whether the set covers a strict majority of the
+// universe (|s| > n/2), the exit condition of Algorithm 1 line 7.
+func (s *ProcSet) IsMajority() bool { return 2*s.Count() > s.n }
+
+// Clone returns an independent copy of the set.
+func (s *ProcSet) Clone() *ProcSet {
+	c := &ProcSet{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Clear removes every member, retaining the universe size.
+func (s *ProcSet) Clear() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// Members returns the sorted member ids.
+func (s *ProcSet) Members() []ProcID {
+	out := make([]ProcID, 0, s.Count())
+	for i := 0; i < s.n; i++ {
+		if s.Contains(ProcID(i)) {
+			out = append(out, ProcID(i))
+		}
+	}
+	return out
+}
+
+// String renders the set in the paper's style, e.g. "{p1,p4,p5}".
+func (s *ProcSet) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	for _, p := range s.Members() {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprint(&b, p)
+	}
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,206 @@
+package model
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestProcSetBasics(t *testing.T) {
+	t.Parallel()
+	s := NewProcSet(10)
+	if s.Count() != 0 {
+		t.Fatalf("new set Count = %d, want 0", s.Count())
+	}
+	s.Add(3)
+	s.Add(7)
+	s.Add(3) // idempotent
+	if got := s.Count(); got != 2 {
+		t.Errorf("Count = %d, want 2", got)
+	}
+	if !s.Contains(3) || !s.Contains(7) {
+		t.Error("Contains(3)/Contains(7) should hold")
+	}
+	if s.Contains(4) {
+		t.Error("Contains(4) should not hold")
+	}
+}
+
+func TestProcSetOutOfRangeIgnored(t *testing.T) {
+	t.Parallel()
+	s := NewProcSet(5)
+	s.Add(-1)
+	s.Add(5)
+	s.Add(1000)
+	if got := s.Count(); got != 0 {
+		t.Errorf("Count after out-of-range adds = %d, want 0", got)
+	}
+	if s.Contains(-1) || s.Contains(5) {
+		t.Error("out-of-range Contains must be false")
+	}
+}
+
+func TestProcSetMajority(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name    string
+		n       int
+		members []ProcID
+		want    bool
+	}{
+		{"empty", 7, nil, false},
+		{"half of even", 4, []ProcID{0, 1}, false},
+		{"majority of even", 4, []ProcID{0, 1, 2}, true},
+		{"floor half of odd", 7, []ProcID{0, 1, 2}, false},
+		{"majority of odd", 7, []ProcID{0, 1, 2, 3}, true},
+		{"all", 3, []ProcID{0, 1, 2}, true},
+		{"single universe", 1, []ProcID{0}, true},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			s := NewProcSet(tt.n)
+			s.AddAll(tt.members)
+			if got := s.IsMajority(); got != tt.want {
+				t.Errorf("IsMajority(%v of n=%d) = %v, want %v", tt.members, tt.n, got, tt.want)
+			}
+		})
+	}
+}
+
+func TestProcSetUnion(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(100)
+	b := NewProcSet(100)
+	a.AddAll([]ProcID{1, 5, 64, 99})
+	b.AddAll([]ProcID{5, 63, 64, 70})
+
+	if got := a.UnionCount(b); got != 6 {
+		t.Errorf("UnionCount = %d, want 6", got)
+	}
+	a.UnionInto(b)
+	if got := a.Count(); got != 6 {
+		t.Errorf("Count after UnionInto = %d, want 6", got)
+	}
+	for _, p := range []ProcID{1, 5, 63, 64, 70, 99} {
+		if !a.Contains(p) {
+			t.Errorf("union should contain %v", p)
+		}
+	}
+	// b unchanged.
+	if got := b.Count(); got != 4 {
+		t.Errorf("b.Count after UnionInto = %d, want 4", got)
+	}
+}
+
+func TestProcSetUnionNil(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(8)
+	a.Add(2)
+	a.UnionInto(nil)
+	if got := a.Count(); got != 1 {
+		t.Errorf("Count after UnionInto(nil) = %d, want 1", got)
+	}
+	if got := a.UnionCount(nil); got != 1 {
+		t.Errorf("UnionCount(nil) = %d, want 1", got)
+	}
+}
+
+func TestProcSetCloneIndependence(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(16)
+	a.Add(4)
+	c := a.Clone()
+	c.Add(9)
+	if a.Contains(9) {
+		t.Error("mutating clone affected original")
+	}
+	if !c.Contains(4) || !c.Contains(9) {
+		t.Error("clone lost members")
+	}
+}
+
+func TestProcSetClear(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(70)
+	a.AddAll([]ProcID{0, 69, 33})
+	a.Clear()
+	if got := a.Count(); got != 0 {
+		t.Errorf("Count after Clear = %d, want 0", got)
+	}
+	if a.Universe() != 70 {
+		t.Errorf("Universe after Clear = %d, want 70", a.Universe())
+	}
+}
+
+func TestProcSetMembersSorted(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(10)
+	a.AddAll([]ProcID{9, 0, 5})
+	got := a.Members()
+	want := []ProcID{0, 5, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestProcSetString(t *testing.T) {
+	t.Parallel()
+	a := NewProcSet(5)
+	if got := a.String(); got != "{}" {
+		t.Errorf("empty String = %q, want {}", got)
+	}
+	a.AddAll([]ProcID{0, 3})
+	if got := a.String(); got != "{p1,p4}" {
+		t.Errorf("String = %q, want {p1,p4}", got)
+	}
+}
+
+// Property: Count equals the number of distinct in-range ids inserted.
+func TestProcSetCountMatchesDistinctInsertions(t *testing.T) {
+	t.Parallel()
+	f := func(raw []uint8) bool {
+		const n = 64
+		s := NewProcSet(n)
+		distinct := map[int]bool{}
+		for _, r := range raw {
+			id := int(r) % (2 * n) // half in-range, half out
+			s.Add(ProcID(id))
+			if id < n {
+				distinct[id] = true
+			}
+		}
+		return s.Count() == len(distinct)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: UnionCount(a, b) == |members(a) ∪ members(b)| computed naively.
+func TestProcSetUnionCountMatchesNaive(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.IntN(200)
+		a, b := NewProcSet(n), NewProcSet(n)
+		naive := map[ProcID]bool{}
+		for i := 0; i < rng.IntN(3*n); i++ {
+			p := ProcID(rng.IntN(n))
+			if rng.IntN(2) == 0 {
+				a.Add(p)
+			} else {
+				b.Add(p)
+			}
+			naive[p] = true
+		}
+		if got := a.UnionCount(b); got != len(naive) {
+			t.Fatalf("n=%d trial=%d UnionCount = %d, want %d", n, trial, got, len(naive))
+		}
+	}
+}

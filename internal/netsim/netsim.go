@@ -1,0 +1,206 @@
+// Package netsim simulates the message-passing dimension of the hybrid
+// model (paper §II-A): every pair of processes is connected by a reliable
+// bidirectional asynchronous channel. Reliable means messages are neither
+// corrupted, nor duplicated, nor lost; asynchronous means transit duration
+// is arbitrary but finite.
+//
+// The broadcast macro-operation is intentionally not reliable: if the
+// sender crashes while executing it, an arbitrary subset of processes
+// receives the message. BroadcastSubset exposes exactly that failure
+// semantics to the failure injector.
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"allforone/internal/mailbox"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+)
+
+// Message is a point-to-point message in flight.
+type Message struct {
+	From    model.ProcID
+	To      model.ProcID
+	Payload any
+}
+
+// DelayFn computes the transit delay of a message. It runs under the
+// network's RNG lock, so it may use rng without synchronization.
+type DelayFn func(rng *rand.Rand, m Message) time.Duration
+
+// options collects network construction parameters.
+type options struct {
+	seed     uint64
+	delayFn  DelayFn
+	counters *metrics.Counters
+}
+
+// Option customizes a Network.
+type Option func(*options)
+
+// WithSeed fixes the seed of the delay RNG, making delay draws reproducible.
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+// WithUniformDelay draws each message's transit time uniformly from
+// [min, max]. A zero max keeps the default immediate delivery.
+func WithUniformDelay(min, max time.Duration) Option {
+	return func(o *options) {
+		if max <= 0 {
+			o.delayFn = nil
+			return
+		}
+		span := max - min
+		o.delayFn = func(rng *rand.Rand, _ Message) time.Duration {
+			if span <= 0 {
+				return min
+			}
+			return min + time.Duration(rng.Int64N(int64(span)+1))
+		}
+	}
+}
+
+// WithDelayFn installs an arbitrary delay policy (e.g. adversarial
+// per-recipient skew). It overrides WithUniformDelay.
+func WithDelayFn(fn DelayFn) Option {
+	return func(o *options) { o.delayFn = fn }
+}
+
+// WithCounters wires the network to a metrics sink; sends and deliveries
+// are counted there.
+func WithCounters(c *metrics.Counters) Option {
+	return func(o *options) { o.counters = c }
+}
+
+// Network is the simulated fully connected reliable asynchronous network
+// for n processes. All methods are safe for concurrent use.
+type Network struct {
+	n      int
+	boxes  []*mailbox.Mailbox[Message]
+	opts   options
+	wg     sync.WaitGroup // in-flight delayed deliveries
+	rngMu  sync.Mutex
+	rng    *rand.Rand
+	closed atomic.Bool
+}
+
+// New returns a network connecting processes 0 … n-1.
+func New(n int, opts ...Option) (*Network, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("netsim: need at least one process, got %d", n)
+	}
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	nw := &Network{
+		n:     n,
+		boxes: make([]*mailbox.Mailbox[Message], n),
+		opts:  o,
+		rng:   rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
+	}
+	for i := range nw.boxes {
+		nw.boxes[i] = mailbox.New[Message]()
+	}
+	return nw, nil
+}
+
+// N returns the number of connected processes.
+func (nw *Network) N() int { return nw.n }
+
+// Send transmits payload from one process to another. The send is an atomic
+// step for the sender: it never blocks and the message is guaranteed to be
+// delivered (unless the receiver has terminated, in which case it would
+// never have been consumed anyway).
+func (nw *Network) Send(from, to model.ProcID, payload any) {
+	if int(to) < 0 || int(to) >= nw.n {
+		return
+	}
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsSent(1)
+	}
+	m := Message{From: from, To: to, Payload: payload}
+	if nw.opts.delayFn == nil || nw.closed.Load() {
+		nw.boxes[to].Put(m)
+		return
+	}
+	nw.rngMu.Lock()
+	d := nw.opts.delayFn(nw.rng, m)
+	nw.rngMu.Unlock()
+	if d <= 0 {
+		nw.boxes[to].Put(m)
+		return
+	}
+	nw.wg.Add(1)
+	go func() {
+		defer nw.wg.Done()
+		time.Sleep(d)
+		nw.boxes[to].Put(m)
+	}()
+}
+
+// Broadcast implements the paper's broadcast(msg) macro-operation: a
+// shortcut for sending msg to every process, including the sender.
+func (nw *Network) Broadcast(from model.ProcID, payload any) {
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddBroadcast()
+	}
+	for to := 0; to < nw.n; to++ {
+		nw.Send(from, model.ProcID(to), payload)
+	}
+}
+
+// BroadcastSubset delivers payload only to the given recipients — the
+// semantics of a broadcast interrupted by the sender's crash (paper §II-A:
+// "an arbitrary subset of processes (possibly empty) receive the message").
+func (nw *Network) BroadcastSubset(from model.ProcID, payload any, recipients []model.ProcID) {
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddBroadcast()
+	}
+	for _, to := range recipients {
+		nw.Send(from, to, payload)
+	}
+}
+
+// Receive blocks until a message for process p arrives, p's inbox closes,
+// or done closes. The boolean reports whether a message was returned.
+func (nw *Network) Receive(p model.ProcID, done <-chan struct{}) (Message, bool) {
+	m, ok := nw.boxes[p].Get(done)
+	if ok && nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsDelivered(1)
+	}
+	return m, ok
+}
+
+// TryReceive returns a pending message for p without blocking.
+func (nw *Network) TryReceive(p model.ProcID) (Message, bool) {
+	m, ok := nw.boxes[p].TryGet()
+	if ok && nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsDelivered(1)
+	}
+	return m, ok
+}
+
+// Pending returns the number of undelivered messages queued for p
+// (in-flight delayed messages are not counted).
+func (nw *Network) Pending(p model.ProcID) int { return nw.boxes[p].Len() }
+
+// CloseInbox marks process p as terminated: its queued messages remain
+// drainable but new messages to it are dropped.
+func (nw *Network) CloseInbox(p model.ProcID) { nw.boxes[p].Close() }
+
+// Shutdown closes every inbox and waits for in-flight delayed deliveries to
+// settle. The network must not be used after Shutdown.
+func (nw *Network) Shutdown() {
+	nw.closed.Store(true)
+	for _, b := range nw.boxes {
+		b.Close()
+	}
+	nw.wg.Wait()
+}

@@ -1,0 +1,303 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+	"time"
+
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+)
+
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := New(0); err == nil {
+		t.Error("New(0) should fail")
+	}
+	if _, err := New(-3); err == nil {
+		t.Error("New(-3) should fail")
+	}
+	nw, err := New(4)
+	if err != nil {
+		t.Fatalf("New(4): %v", err)
+	}
+	if nw.N() != 4 {
+		t.Errorf("N = %d, want 4", nw.N())
+	}
+	nw.Shutdown()
+}
+
+func TestSendReceive(t *testing.T) {
+	t.Parallel()
+	nw, err := New(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	nw.Send(0, 2, "hello")
+	done := make(chan struct{})
+	m, ok := nw.Receive(2, done)
+	if !ok {
+		t.Fatal("Receive failed")
+	}
+	if m.From != 0 || m.To != 2 || m.Payload != "hello" {
+		t.Errorf("message = %+v", m)
+	}
+}
+
+func TestSendToInvalidRecipientIgnored(t *testing.T) {
+	t.Parallel()
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	nw.Send(0, 7, "x")  // silently dropped
+	nw.Send(0, -1, "x") // silently dropped
+	if got := nw.Pending(0) + nw.Pending(1); got != 0 {
+		t.Errorf("pending = %d, want 0", got)
+	}
+}
+
+func TestBroadcastReachesAllIncludingSelf(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	nw, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	nw.Broadcast(1, 42)
+	done := make(chan struct{})
+	for p := 0; p < n; p++ {
+		m, ok := nw.Receive(model.ProcID(p), done)
+		if !ok || m.Payload != 42 || m.From != 1 {
+			t.Errorf("process %d: message = %+v ok=%v", p, m, ok)
+		}
+	}
+}
+
+func TestBroadcastSubsetPartialDelivery(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	nw, err := New(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	nw.BroadcastSubset(0, "crash", []model.ProcID{1, 3})
+	if nw.Pending(1) != 1 || nw.Pending(3) != 1 {
+		t.Error("recipients 1 and 3 should have one pending message")
+	}
+	for _, p := range []model.ProcID{0, 2, 4} {
+		if nw.Pending(p) != 0 {
+			t.Errorf("process %v should have no pending messages", p)
+		}
+	}
+}
+
+func TestReceiveUnblocksOnDone(t *testing.T) {
+	t.Parallel()
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+
+	done := make(chan struct{})
+	res := make(chan bool, 1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, ok := nw.Receive(1, done)
+		res <- ok
+	}()
+	close(done)
+	select {
+	case ok := <-res:
+		if ok {
+			t.Error("Receive returned a message after done")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Receive did not observe done")
+	}
+	wg.Wait()
+}
+
+func TestTryReceive(t *testing.T) {
+	t.Parallel()
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	if _, ok := nw.TryReceive(0); ok {
+		t.Error("TryReceive on empty inbox returned ok")
+	}
+	nw.Send(1, 0, 9)
+	m, ok := nw.TryReceive(0)
+	if !ok || m.Payload != 9 {
+		t.Errorf("TryReceive = %+v,%v", m, ok)
+	}
+}
+
+func TestCloseInboxDropsNewKeepsQueued(t *testing.T) {
+	t.Parallel()
+	nw, err := New(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	nw.Send(0, 1, "before")
+	nw.CloseInbox(1)
+	nw.Send(0, 1, "after")
+	done := make(chan struct{})
+	m, ok := nw.Receive(1, done)
+	if !ok || m.Payload != "before" {
+		t.Errorf("first Receive = %+v,%v", m, ok)
+	}
+	if _, ok := nw.Receive(1, done); ok {
+		t.Error("message sent after CloseInbox was delivered")
+	}
+}
+
+func TestUniformDelayDeliversEverything(t *testing.T) {
+	t.Parallel()
+	const n, msgs = 4, 50
+	nw, err := New(n, WithSeed(11), WithUniformDelay(0, 2*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < msgs; i++ {
+		nw.Send(0, 1, i)
+	}
+	done := make(chan struct{})
+	seen := make(map[int]bool, msgs)
+	for i := 0; i < msgs; i++ {
+		m, ok := nw.Receive(1, done)
+		if !ok {
+			t.Fatalf("Receive #%d failed", i)
+		}
+		v := m.Payload.(int)
+		if seen[v] {
+			t.Fatalf("duplicate delivery of %d", v)
+		}
+		seen[v] = true
+	}
+	nw.Shutdown()
+	if len(seen) != msgs {
+		t.Errorf("delivered %d distinct messages, want %d", len(seen), msgs)
+	}
+}
+
+func TestWithDelayFnCustomPolicy(t *testing.T) {
+	t.Parallel()
+	// Delay only messages to process 1; everything else immediate.
+	nw, err := New(3, WithDelayFn(func(_ *rand.Rand, m Message) time.Duration {
+		if m.To == 1 {
+			return time.Millisecond
+		}
+		return 0
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw.Broadcast(0, "x")
+	if nw.Pending(2) != 1 {
+		t.Error("undelayed recipient should have the message immediately")
+	}
+	done := make(chan struct{})
+	if m, ok := nw.Receive(1, done); !ok || m.Payload != "x" {
+		t.Errorf("delayed Receive = %+v,%v", m, ok)
+	}
+	nw.Shutdown()
+}
+
+func TestCountersWired(t *testing.T) {
+	t.Parallel()
+	var c metrics.Counters
+	const n = 3
+	nw, err := New(n, WithCounters(&c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nw.Shutdown()
+	nw.Broadcast(0, "b") // n sends
+	nw.Send(1, 2, "s")   // 1 send
+	done := make(chan struct{})
+	for p := 0; p < n; p++ {
+		nw.Receive(model.ProcID(p), done)
+	}
+	s := c.Read()
+	if s.MsgsSent != n+1 {
+		t.Errorf("MsgsSent = %d, want %d", s.MsgsSent, n+1)
+	}
+	if s.Broadcasts != 1 {
+		t.Errorf("Broadcasts = %d, want 1", s.Broadcasts)
+	}
+	if s.MsgsDelivered != n {
+		t.Errorf("MsgsDelivered = %d, want %d", s.MsgsDelivered, n)
+	}
+}
+
+// Stress: concurrent broadcasters and receivers; every sent message is
+// delivered exactly once (reliability: no loss, no duplication).
+func TestReliabilityUnderConcurrency(t *testing.T) {
+	t.Parallel()
+	const n, rounds = 8, 30
+	nw, err := New(n, WithSeed(5), WithUniformDelay(0, 500*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for p := 0; p < n; p++ {
+		wg.Add(1)
+		go func(p model.ProcID) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				nw.Broadcast(p, [2]int{int(p), r})
+			}
+		}(model.ProcID(p))
+	}
+
+	type key struct{ from, r, to int }
+	var mu sync.Mutex
+	got := make(map[key]int)
+	var rwg sync.WaitGroup
+	done := make(chan struct{})
+	for p := 0; p < n; p++ {
+		rwg.Add(1)
+		go func(p model.ProcID) {
+			defer rwg.Done()
+			for i := 0; i < n*rounds; i++ {
+				m, ok := nw.Receive(p, done)
+				if !ok {
+					t.Errorf("process %v: receive %d failed", p, i)
+					return
+				}
+				pl := m.Payload.([2]int)
+				mu.Lock()
+				got[key{pl[0], pl[1], int(p)}]++
+				mu.Unlock()
+			}
+		}(model.ProcID(p))
+	}
+	wg.Wait()
+	rwg.Wait()
+	nw.Shutdown()
+
+	if len(got) != n*rounds*n {
+		t.Fatalf("distinct deliveries = %d, want %d", len(got), n*rounds*n)
+	}
+	for k, count := range got {
+		if count != 1 {
+			t.Fatalf("message %+v delivered %d times", k, count)
+		}
+	}
+}

@@ -1,0 +1,81 @@
+package shmem
+
+import "testing"
+
+func BenchmarkRegisterReadWrite(b *testing.B) {
+	r := NewRegister(0)
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if i%2 == 0 {
+				r.Write(i)
+			} else {
+				_ = r.Read()
+			}
+			i++
+		}
+	})
+}
+
+func BenchmarkCASUncontended(b *testing.B) {
+	r := NewCASRegister(int64(0))
+	for i := 0; i < b.N; i++ {
+		r.CompareAndSwap(int64(i), int64(i+1))
+	}
+}
+
+func BenchmarkCASContended(b *testing.B) {
+	r := NewCASRegister(int64(-1))
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.CompareAndSwap(-1, 1) // mostly failing CAS under contention
+		}
+	})
+}
+
+func BenchmarkLLSCCounterParallel(b *testing.B) {
+	r := NewLLSCRegister(0)
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			for {
+				v, link := r.LL()
+				if r.SC(link, v+1) {
+					break
+				}
+			}
+		}
+	})
+}
+
+func BenchmarkFetchAddParallel(b *testing.B) {
+	var r FetchAddRegister
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			r.FetchAdd(1)
+		}
+	})
+}
+
+func BenchmarkMemoryGetOrCreateHit(b *testing.B) {
+	m := NewMemory()
+	m.GetOrCreate("k", func() any { return NewCASRegister(0) })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.GetOrCreate("k", func() any { return NewCASRegister(0) })
+	}
+}
+
+func BenchmarkMemoryConcurrentMixed(b *testing.B) {
+	m := NewMemory()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := "slot"
+			if i%16 == 0 {
+				key = "other"
+			}
+			_ = m.GetOrCreate(key, func() any { return NewCASRegister(0) })
+			i++
+		}
+	})
+}

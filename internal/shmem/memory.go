@@ -1,0 +1,63 @@
+package shmem
+
+import "sync"
+
+// Memory models one cluster's shared memory MEM_x: a dynamically allocated
+// pool of named shared objects. The paper assumes each cluster's memory
+// hosts an unbounded array of consensus objects CONS_x[r, ph]; Memory
+// provides the lazy allocation that makes the unbounded array practical —
+// the first process to touch a slot allocates it, every later process gets
+// the same object.
+//
+// Memory is safe for concurrent use by all processes of the cluster.
+type Memory struct {
+	mu      sync.Mutex
+	objects map[string]any
+	allocs  int
+}
+
+// NewMemory returns an empty cluster memory.
+func NewMemory() *Memory {
+	return &Memory{objects: make(map[string]any)}
+}
+
+// GetOrCreate returns the object stored under key, creating it with mk on
+// first access. All processes of the cluster racing on the same key obtain
+// the same object; mk may be called at most once per key.
+func (m *Memory) GetOrCreate(key string, mk func() any) any {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if obj, ok := m.objects[key]; ok {
+		return obj
+	}
+	obj := mk()
+	m.objects[key] = obj
+	m.allocs++
+	return obj
+}
+
+// Lookup returns the object stored under key, or nil and false.
+func (m *Memory) Lookup(key string) (any, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	obj, ok := m.objects[key]
+	return obj, ok
+}
+
+// Allocations returns how many distinct objects have been allocated, a
+// proxy for the memory footprint of a run.
+func (m *Memory) Allocations() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.allocs
+}
+
+// GetOrCreateTyped is a generic convenience wrapper around
+// Memory.GetOrCreate that performs the type assertion. It returns the zero
+// value and false if the slot exists with a different type — a programming
+// error surfaced to the caller rather than a panic deep in a simulation.
+func GetOrCreateTyped[T any](m *Memory, key string, mk func() T) (T, bool) {
+	obj := m.GetOrCreate(key, func() any { return mk() })
+	t, ok := obj.(T)
+	return t, ok
+}

@@ -1,0 +1,87 @@
+package shmem
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestMemoryGetOrCreate(t *testing.T) {
+	t.Parallel()
+	m := NewMemory()
+	calls := 0
+	mk := func() any { calls++; return NewCASRegister(0) }
+	a := m.GetOrCreate("k", mk)
+	b := m.GetOrCreate("k", mk)
+	if a != b {
+		t.Error("GetOrCreate returned different objects for same key")
+	}
+	if calls != 1 {
+		t.Errorf("mk called %d times, want 1", calls)
+	}
+	if got := m.Allocations(); got != 1 {
+		t.Errorf("Allocations = %d, want 1", got)
+	}
+}
+
+func TestMemoryLookup(t *testing.T) {
+	t.Parallel()
+	m := NewMemory()
+	if _, ok := m.Lookup("missing"); ok {
+		t.Error("Lookup(missing) reported present")
+	}
+	want := m.GetOrCreate("x", func() any { return 7 })
+	got, ok := m.Lookup("x")
+	if !ok || got != want {
+		t.Errorf("Lookup(x) = %v,%v", got, ok)
+	}
+}
+
+// All racing processes must obtain the same object, and mk must run at most
+// once per key — the property CONS_x[r,ph] allocation relies on.
+func TestMemoryConcurrentRace(t *testing.T) {
+	t.Parallel()
+	m := NewMemory()
+	const procs, keys = 16, 20
+	results := make([][]any, procs)
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		results[p] = make([]any, keys)
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("cons/%d", k)
+				results[p][k] = m.GetOrCreate(key, func() any { return NewCASRegister(-1) })
+			}
+		}(p)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		for p := 1; p < procs; p++ {
+			if results[p][k] != results[0][k] {
+				t.Fatalf("key %d: process %d got a different object", k, p)
+			}
+		}
+	}
+	if got := m.Allocations(); got != keys {
+		t.Errorf("Allocations = %d, want %d", got, keys)
+	}
+}
+
+func TestGetOrCreateTyped(t *testing.T) {
+	t.Parallel()
+	m := NewMemory()
+	r, ok := GetOrCreateTyped(m, "reg", func() *CASRegister[int] { return NewCASRegister(3) })
+	if !ok || r.Read() != 3 {
+		t.Fatalf("GetOrCreateTyped first access: %v, %v", r, ok)
+	}
+	r2, ok := GetOrCreateTyped(m, "reg", func() *CASRegister[int] { return NewCASRegister(99) })
+	if !ok || r2 != r {
+		t.Error("GetOrCreateTyped second access should return same object")
+	}
+	// Wrong type for existing slot: surfaced as ok=false.
+	if _, ok := GetOrCreateTyped(m, "reg", func() *Register[string] { return NewRegister("x") }); ok {
+		t.Error("GetOrCreateTyped with mismatched type should report false")
+	}
+}

@@ -1,0 +1,198 @@
+// Package shmem simulates the intra-cluster shared memory of the hybrid
+// communication model (paper §II-A): a memory MEM_x of atomic registers,
+// enriched with synchronization operations of infinite consensus number
+// (compare&swap, LL/SC) plus the weaker classics (fetch&add, test&set) used
+// to illustrate Herlihy's consensus hierarchy.
+//
+// Every exported operation is a single atomic step: it is linearizable by
+// construction (each operation holds a per-object lock for its whole
+// duration, so operations on one object are totally ordered and each takes
+// effect between its invocation and response). Crash failures need no
+// special handling here — a crashed process simply stops invoking
+// operations, and memory state persists, exactly as in the paper's model.
+package shmem
+
+import "sync"
+
+// Register is an atomic multi-reader multi-writer read/write register.
+// The zero value holds the zero value of T and is ready for use.
+type Register[T any] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewRegister returns a register initialized to v.
+func NewRegister[T any](v T) *Register[T] {
+	return &Register[T]{v: v}
+}
+
+// Read returns the current value as one atomic step.
+func (r *Register[T]) Read() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// Write stores v as one atomic step.
+func (r *Register[T]) Write(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// CASRegister is an atomic register additionally providing compare&swap,
+// the paper's canonical operation of infinite consensus number.
+// The zero value holds the zero value of T.
+type CASRegister[T comparable] struct {
+	mu sync.Mutex
+	v  T
+}
+
+// NewCASRegister returns a CAS register initialized to v.
+func NewCASRegister[T comparable](v T) *CASRegister[T] {
+	return &CASRegister[T]{v: v}
+}
+
+// Read returns the current value as one atomic step.
+func (r *CASRegister[T]) Read() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// Write stores v as one atomic step.
+func (r *CASRegister[T]) Write(v T) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.v = v
+}
+
+// CompareAndSwap atomically replaces the value with new if it currently
+// equals old, reporting whether the swap happened.
+func (r *CASRegister[T]) CompareAndSwap(old, new T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.v != old {
+		return false
+	}
+	r.v = new
+	return true
+}
+
+// Swap atomically stores new and returns the previous value.
+func (r *CASRegister[T]) Swap(new T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.v
+	r.v = new
+	return old
+}
+
+// LLSCRegister is an atomic register providing load-linked/store-
+// conditional, another operation pair of infinite consensus number.
+//
+// LL returns the current value; a subsequent SC by the same process
+// succeeds only if no SC (by anyone) succeeded on the register since that
+// LL. As in real hardware, the link is conservative: any successful SC
+// breaks every outstanding link.
+type LLSCRegister[T any] struct {
+	mu  sync.Mutex
+	v   T
+	ver uint64 // incremented by every successful SC
+}
+
+// NewLLSCRegister returns an LL/SC register initialized to v.
+func NewLLSCRegister[T any](v T) *LLSCRegister[T] {
+	return &LLSCRegister[T]{v: v}
+}
+
+// Link is an opaque witness of an LL, to be passed to SC.
+type Link struct{ ver uint64 }
+
+// LL (load-linked) returns the current value and a link for a later SC.
+func (r *LLSCRegister[T]) LL() (T, Link) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v, Link{ver: r.ver}
+}
+
+// SC (store-conditional) stores v if no successful SC intervened since the
+// LL that produced link, reporting whether the store happened.
+func (r *LLSCRegister[T]) SC(link Link, v T) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.ver != link.ver {
+		return false
+	}
+	r.v = v
+	r.ver++
+	return true
+}
+
+// Read returns the current value without establishing a link.
+func (r *LLSCRegister[T]) Read() T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// FetchAddRegister is an atomic integer register with fetch&add
+// (consensus number 2 in Herlihy's hierarchy).
+// The zero value holds 0.
+type FetchAddRegister struct {
+	mu sync.Mutex
+	v  int64
+}
+
+// NewFetchAddRegister returns a register initialized to v.
+func NewFetchAddRegister(v int64) *FetchAddRegister {
+	return &FetchAddRegister{v: v}
+}
+
+// FetchAdd atomically adds delta and returns the previous value.
+func (r *FetchAddRegister) FetchAdd(delta int64) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.v
+	r.v += delta
+	return old
+}
+
+// Read returns the current value.
+func (r *FetchAddRegister) Read() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.v
+}
+
+// TASRegister is an atomic boolean register with test&set
+// (consensus number 2). The zero value is unset.
+type TASRegister struct {
+	mu  sync.Mutex
+	set bool
+}
+
+// TestAndSet atomically sets the register and returns the previous state.
+// The unique caller observing false is the winner.
+func (r *TASRegister) TestAndSet() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	old := r.set
+	r.set = true
+	return old
+}
+
+// Read returns the current state.
+func (r *TASRegister) Read() bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.set
+}
+
+// Reset clears the register (not part of the classical object; provided for
+// tests that reuse a register across cases).
+func (r *TASRegister) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.set = false
+}

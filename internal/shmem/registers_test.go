@@ -1,0 +1,268 @@
+package shmem
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegisterReadWrite(t *testing.T) {
+	t.Parallel()
+	r := NewRegister(42)
+	if got := r.Read(); got != 42 {
+		t.Errorf("Read = %d, want 42", got)
+	}
+	r.Write(7)
+	if got := r.Read(); got != 7 {
+		t.Errorf("Read = %d, want 7", got)
+	}
+}
+
+func TestRegisterZeroValue(t *testing.T) {
+	t.Parallel()
+	var r Register[string]
+	if got := r.Read(); got != "" {
+		t.Errorf("zero register Read = %q, want empty", got)
+	}
+	r.Write("x")
+	if got := r.Read(); got != "x" {
+		t.Errorf("Read = %q, want x", got)
+	}
+}
+
+// Concurrent writers then a read: the final value must be one of the
+// written values (atomicity — no torn or invented values).
+func TestRegisterConcurrentWriters(t *testing.T) {
+	t.Parallel()
+	r := NewRegister(0)
+	const writers = 32
+	var wg sync.WaitGroup
+	for i := 1; i <= writers; i++ {
+		wg.Add(1)
+		go func(v int) {
+			defer wg.Done()
+			r.Write(v)
+		}(i)
+	}
+	wg.Wait()
+	got := r.Read()
+	if got < 1 || got > writers {
+		t.Errorf("final value %d not among written values", got)
+	}
+}
+
+func TestCASRegisterBasic(t *testing.T) {
+	t.Parallel()
+	r := NewCASRegister("init")
+	if !r.CompareAndSwap("init", "a") {
+		t.Fatal("CAS(init→a) failed")
+	}
+	if r.CompareAndSwap("init", "b") {
+		t.Fatal("CAS(init→b) succeeded after value changed")
+	}
+	if got := r.Read(); got != "a" {
+		t.Errorf("Read = %q, want a", got)
+	}
+	r.Write("c")
+	if got := r.Swap("d"); got != "c" {
+		t.Errorf("Swap returned %q, want c", got)
+	}
+	if got := r.Read(); got != "d" {
+		t.Errorf("Read = %q, want d", got)
+	}
+}
+
+// Exactly one of many concurrent CAS(⊥→i) attempts must win — this is the
+// property that makes CAS a consensus primitive.
+func TestCASRegisterSingleWinner(t *testing.T) {
+	t.Parallel()
+	const procs = 64
+	for trial := 0; trial < 50; trial++ {
+		r := NewCASRegister(-1)
+		wins := make([]bool, procs)
+		var wg sync.WaitGroup
+		for i := 0; i < procs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				wins[i] = r.CompareAndSwap(-1, i)
+			}(i)
+		}
+		wg.Wait()
+		winner := -1
+		count := 0
+		for i, w := range wins {
+			if w {
+				winner = i
+				count++
+			}
+		}
+		if count != 1 {
+			t.Fatalf("trial %d: %d winners, want exactly 1", trial, count)
+		}
+		if got := r.Read(); got != winner {
+			t.Fatalf("trial %d: register holds %d, winner was %d", trial, got, winner)
+		}
+	}
+}
+
+func TestLLSCBasic(t *testing.T) {
+	t.Parallel()
+	r := NewLLSCRegister(10)
+	v, link := r.LL()
+	if v != 10 {
+		t.Fatalf("LL = %d, want 10", v)
+	}
+	if !r.SC(link, 11) {
+		t.Fatal("SC after fresh LL failed")
+	}
+	if got := r.Read(); got != 11 {
+		t.Errorf("Read = %d, want 11", got)
+	}
+	// The old link is now stale.
+	if r.SC(link, 12) {
+		t.Error("SC with stale link succeeded")
+	}
+}
+
+func TestLLSCInterference(t *testing.T) {
+	t.Parallel()
+	r := NewLLSCRegister(0)
+	_, link1 := r.LL()
+	_, link2 := r.LL()
+	if !r.SC(link2, 5) {
+		t.Fatal("first SC failed")
+	}
+	if r.SC(link1, 6) {
+		t.Error("SC succeeded although another SC intervened")
+	}
+	if got := r.Read(); got != 5 {
+		t.Errorf("Read = %d, want 5", got)
+	}
+}
+
+// Concurrent LL/SC increments must never lose an update when retried until
+// success (the classic lock-free counter).
+func TestLLSCLockFreeCounter(t *testing.T) {
+	t.Parallel()
+	r := NewLLSCRegister(0)
+	const procs, increments = 8, 100
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := 0; k < increments; k++ {
+				for {
+					v, link := r.LL()
+					if r.SC(link, v+1) {
+						break
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Read(); got != procs*increments {
+		t.Errorf("counter = %d, want %d", got, procs*increments)
+	}
+}
+
+func TestFetchAdd(t *testing.T) {
+	t.Parallel()
+	r := NewFetchAddRegister(5)
+	if got := r.FetchAdd(3); got != 5 {
+		t.Errorf("FetchAdd returned %d, want 5", got)
+	}
+	if got := r.Read(); got != 8 {
+		t.Errorf("Read = %d, want 8", got)
+	}
+}
+
+// Concurrent FetchAdd(1): all return values distinct, final = count.
+func TestFetchAddDistinctTickets(t *testing.T) {
+	t.Parallel()
+	var r FetchAddRegister
+	const procs = 100
+	tickets := make([]int64, procs)
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tickets[i] = r.FetchAdd(1)
+		}(i)
+	}
+	wg.Wait()
+	seen := make(map[int64]bool, procs)
+	for _, tk := range tickets {
+		if tk < 0 || tk >= procs {
+			t.Fatalf("ticket %d out of range", tk)
+		}
+		if seen[tk] {
+			t.Fatalf("duplicate ticket %d", tk)
+		}
+		seen[tk] = true
+	}
+	if got := r.Read(); got != procs {
+		t.Errorf("final = %d, want %d", got, procs)
+	}
+}
+
+func TestTASSingleWinner(t *testing.T) {
+	t.Parallel()
+	var r TASRegister
+	if r.Read() {
+		t.Fatal("zero TASRegister should be unset")
+	}
+	const procs = 50
+	var winners FetchAddRegister
+	var wg sync.WaitGroup
+	for i := 0; i < procs; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if !r.TestAndSet() {
+				winners.FetchAdd(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := winners.Read(); got != 1 {
+		t.Errorf("%d winners, want exactly 1", got)
+	}
+	if !r.Read() {
+		t.Error("register should be set after TAS storm")
+	}
+	r.Reset()
+	if r.Read() {
+		t.Error("register should be unset after Reset")
+	}
+}
+
+// Property: a sequence of CAS operations applied sequentially behaves like
+// the naive specification.
+func TestCASSequentialSpec(t *testing.T) {
+	t.Parallel()
+	type op struct {
+		Old, New int8
+	}
+	f := func(init int8, ops []op) bool {
+		r := NewCASRegister(init)
+		spec := init
+		for _, o := range ops {
+			got := r.CompareAndSwap(o.Old, o.New)
+			want := spec == o.Old
+			if want {
+				spec = o.New
+			}
+			if got != want {
+				return false
+			}
+		}
+		return r.Read() == spec
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,168 @@
+// Package sim defines the execution-outcome vocabulary shared by every
+// consensus implementation in this repository: the hybrid algorithms
+// (internal/core), the pure message-passing baselines (internal/benor,
+// internal/mpcoin), the shared-memory baseline (internal/shconsensus) and
+// the m&m comparator (internal/mm). A common Result shape lets the
+// experiment harness treat all of them uniformly.
+package sim
+
+import (
+	"fmt"
+	"time"
+
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+)
+
+// Status classifies how a process's propose() invocation ended.
+type Status int8
+
+// Possible process outcomes.
+const (
+	// StatusDecided: the process returned a decision (consensus output).
+	StatusDecided Status = iota + 1
+	// StatusCrashed: the failure injector halted the process.
+	StatusCrashed
+	// StatusBlocked: the runner aborted the process (timeout or round cap);
+	// in the model the process would still be waiting. Blocked processes
+	// have no decision — indulgence demands they never output a bad one.
+	StatusBlocked
+	// StatusFailed: an internal invariant was violated — a bug, never an
+	// acceptable outcome.
+	StatusFailed
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case StatusDecided:
+		return "decided"
+	case StatusCrashed:
+		return "crashed"
+	case StatusBlocked:
+		return "blocked"
+	case StatusFailed:
+		return "failed"
+	}
+	return "unknown"
+}
+
+// ProcResult is one process's view of an execution.
+type ProcResult struct {
+	Status   Status
+	Decision model.Value // meaningful iff Status == StatusDecided
+	Round    int         // round at which the execution ended
+}
+
+// Result aggregates a run of any consensus implementation.
+type Result struct {
+	// Procs holds per-process outcomes, indexed by process id.
+	Procs []ProcResult
+	// Metrics is the cost snapshot of the run.
+	Metrics metrics.Snapshot
+	// ConsInvocations / ConsAllocations hold per-memory consensus-object
+	// counts (per cluster in the hybrid model, per process-centered memory
+	// in the m&m model; nil for pure message-passing baselines).
+	ConsInvocations []int64
+	ConsAllocations []int64
+	// Elapsed is the wall-clock duration of the run.
+	Elapsed time.Duration
+}
+
+// Decided returns the processes that decided and their (necessarily equal)
+// value. ok is false when no process decided.
+func (r *Result) Decided() (val model.Value, count int, ok bool) {
+	val = model.Bot
+	for _, pr := range r.Procs {
+		if pr.Status == StatusDecided {
+			count++
+			val = pr.Decision
+		}
+	}
+	return val, count, count > 0
+}
+
+// AllLiveDecided reports whether every non-crashed process decided —
+// the termination property under the relevant liveness condition.
+func (r *Result) AllLiveDecided() bool {
+	for _, pr := range r.Procs {
+		if pr.Status != StatusDecided && pr.Status != StatusCrashed {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckAgreement verifies no two decided processes decided differently.
+func (r *Result) CheckAgreement() error {
+	val := model.Bot
+	for i, pr := range r.Procs {
+		if pr.Status != StatusDecided {
+			continue
+		}
+		if val == model.Bot {
+			val = pr.Decision
+			continue
+		}
+		if pr.Decision != val {
+			return fmt.Errorf("sim: agreement violated: %v decided %v, earlier process decided %v",
+				model.ProcID(i), pr.Decision, val)
+		}
+	}
+	return nil
+}
+
+// CheckValidity verifies every decision was somebody's proposal.
+func (r *Result) CheckValidity(proposals []model.Value) error {
+	for i, pr := range r.Procs {
+		if pr.Status != StatusDecided {
+			continue
+		}
+		found := false
+		for _, prop := range proposals {
+			if prop == pr.Decision {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("sim: validity violated: %v decided %v, which no process proposed",
+				model.ProcID(i), pr.Decision)
+		}
+	}
+	return nil
+}
+
+// MaxDecisionRound returns the highest round at which any process decided
+// (0 when no process decided).
+func (r *Result) MaxDecisionRound() int {
+	max := 0
+	for _, pr := range r.Procs {
+		if pr.Status == StatusDecided && pr.Round > max {
+			max = pr.Round
+		}
+	}
+	return max
+}
+
+// DecisionRounds returns the decision round of every decided process.
+func (r *Result) DecisionRounds() []int {
+	var out []int
+	for _, pr := range r.Procs {
+		if pr.Status == StatusDecided {
+			out = append(out, pr.Round)
+		}
+	}
+	return out
+}
+
+// CountStatus returns how many processes ended with the given status.
+func (r *Result) CountStatus(s Status) int {
+	c := 0
+	for _, pr := range r.Procs {
+		if pr.Status == s {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,133 @@
+package stats
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"unicode/utf8"
+)
+
+// Table renders aligned text tables — the harness's equivalent of the
+// paper's result tables. Columns are left-aligned for the first column and
+// right-aligned for the rest (header row included).
+type Table struct {
+	title   string
+	headers []string
+	rows    [][]string
+	notes   []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{title: title, headers: headers}
+}
+
+// AddRow appends a row; cells beyond the header count are dropped, missing
+// cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.headers))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v.
+func (t *Table) AddRowf(cells ...any) {
+	ss := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			ss[i] = FormatFloat(v)
+		default:
+			ss[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.AddRow(ss...)
+}
+
+// AddNote appends a footnote line rendered under the table.
+func (t *Table) AddNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+// Rows returns the number of data rows.
+func (t *Table) Rows() int { return len(t.rows) }
+
+// FormatFloat renders a float compactly: integers without decimals, small
+// magnitudes with 2-3 significant decimals.
+func FormatFloat(v float64) string {
+	switch {
+	case v == float64(int64(v)) && v < 1e15 && v > -1e15:
+		return fmt.Sprintf("%d", int64(v))
+	case v >= 100 || v <= -100:
+		return fmt.Sprintf("%.1f", v)
+	case v >= 1 || v <= -1:
+		return fmt.Sprintf("%.2f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) error {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = utf8.RuneCountInString(h)
+	}
+	for _, row := range t.rows {
+		for i, c := range row {
+			if l := utf8.RuneCountInString(c); l > widths[i] {
+				widths[i] = l
+			}
+		}
+	}
+	pad := func(s string, width int, leftAlign bool) string {
+		gap := width - utf8.RuneCountInString(s)
+		if gap <= 0 {
+			return s
+		}
+		if leftAlign {
+			return s + strings.Repeat(" ", gap)
+		}
+		return strings.Repeat(" ", gap) + s
+	}
+	line := func(cells []string) string {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = pad(c, widths[i], i == 0)
+		}
+		return strings.Join(parts, "  ")
+	}
+
+	if t.title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n", t.title); err != nil {
+			return err
+		}
+	}
+	header := line(t.headers)
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", header, strings.Repeat("-", utf8.RuneCountInString(header))); err != nil {
+		return err
+	}
+	for _, row := range t.rows {
+		if _, err := fmt.Fprintf(w, "%s\n", line(row)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.notes {
+		if _, err := fmt.Fprintf(w, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	_ = t.Render(&b)
+	return b.String()
+}
