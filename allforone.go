@@ -70,6 +70,18 @@ const (
 	CommonCoin = core.CommonCoin
 )
 
+// Engine selects the execution engine driving a simulated run.
+type Engine = core.Engine
+
+// The two engines. EngineVirtual — the default — is a deterministic
+// discrete-event simulation: same Config (including Seed), same Result and
+// trace, bit for bit, with no wall-clock time spent. EngineRealtime is the
+// goroutine-per-process backend kept for differential testing.
+const (
+	EngineVirtual  = core.EngineVirtual
+	EngineRealtime = core.EngineRealtime
+)
+
 // Config describes one hybrid consensus execution. See core.Config for
 // field documentation.
 type Config = core.Config
@@ -272,5 +284,18 @@ func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error)
 	return harness.Run(id, opts)
 }
 
-// DefaultTimeout bounds runs whose liveness condition may not hold.
+// DefaultTimeout bounds realtime-engine runs whose liveness condition may
+// not hold. The virtual engine needs no timeout: blocked runs are detected
+// deterministically by quiescence.
 const DefaultTimeout = core.DefaultTimeout
+
+// DefaultMaxSteps bounds virtual-engine runs that never converge (see
+// Config.MaxSteps).
+const DefaultMaxSteps = core.DefaultMaxSteps
+
+// SweepConfigs runs many independent configurations on a worker pool and
+// returns results in input order — the bulk-experiment entry point on top
+// of the deterministic virtual engine. parallelism ≤ 0 uses all CPUs.
+func SweepConfigs(cfgs []Config, parallelism int) ([]*Result, error) {
+	return harness.Sweep(cfgs, parallelism)
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"allforone/internal/harness"
+	"allforone/internal/sim"
 )
 
 func main() {
@@ -30,10 +31,12 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridbench", flag.ContinueOnError)
 	var (
-		exps    = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
-		trials  = fs.Int("trials", 100, "trials per table cell")
-		seed    = fs.Int64("seed", 1, "seed base")
-		timeout = fs.Duration("timeout", 20*time.Second, "per-run timeout")
+		exps     = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		trials   = fs.Int("trials", 100, "trials per table cell")
+		seed     = fs.Int64("seed", 1, "seed base")
+		timeout  = fs.Duration("timeout", 20*time.Second, "per-run timeout (realtime engine only)")
+		engine   = fs.String("engine", "virtual", "execution engine for hybrid trials: virtual or realtime")
+		parallel = fs.Int("parallel", 0, "worker pool size for independent trials (0 = all CPUs)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -46,7 +49,14 @@ func run(args []string, out io.Writer) error {
 			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
 		}
 	}
-	opts := harness.Options{Trials: *trials, SeedBase: *seed, Timeout: *timeout}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
+	opts := harness.Options{
+		Trials: *trials, SeedBase: *seed, Timeout: *timeout,
+		Engine: eng, Parallelism: *parallel,
+	}
 
 	fmt.Fprintf(out, "allforone experiment suite — %d trials per cell, seed base %d\n", *trials, *seed)
 	fmt.Fprintf(out, "reproducing: Raynal & Cao, ICDCS 2019 (see EXPERIMENTS.md)\n\n")

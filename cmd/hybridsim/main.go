@@ -28,6 +28,7 @@ import (
 	"allforone/internal/core"
 	"allforone/internal/failures"
 	"allforone/internal/model"
+	"allforone/internal/sim"
 	"allforone/internal/trace"
 )
 
@@ -46,8 +47,10 @@ func run(args []string) error {
 		proposals = fs.String("proposals", "random", "per-process bits (e.g. 1011010) or 'random'")
 		seed      = fs.Int64("seed", 1, "run seed (coins, delays, crash subsets)")
 		maxRounds = fs.Int("max-rounds", 10000, "round cap (0 = unbounded)")
-		timeout   = fs.Duration("timeout", 10*time.Second, "abort blocked runs after this long")
+		engine    = fs.String("engine", "virtual", "execution engine: virtual (deterministic discrete-event) or realtime (goroutines + wall clock)")
+		timeout   = fs.Duration("timeout", 10*time.Second, "abort blocked realtime-engine runs after this long (virtual engine detects blocked runs by quiescence)")
 		maxDelay  = fs.Duration("max-delay", 0, "max message transit delay (0 = immediate)")
+		maxVTime  = fs.Duration("max-virtual-time", 0, "virtual-engine bound on the virtual clock (0 = unbounded)")
 		crashSpec = fs.String("crash", "", "crash plans proc:round:phase:stage;... (1-based proc)")
 		survivors = fs.String("crash-all-except", "", "crash everyone at round 1 start except these (comma-separated, 1-based)")
 		showTrace = fs.Bool("trace", false, "print the event trace")
@@ -72,21 +75,28 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
+	eng, err := sim.ParseEngine(*engine)
+	if err != nil {
+		return err
+	}
 
 	log := trace.New()
 	cfg := core.Config{
-		Partition: part,
-		Proposals: props,
-		Algorithm: algo,
-		Seed:      *seed,
-		Crashes:   sched,
-		MaxRounds: *maxRounds,
-		Timeout:   *timeout,
-		MaxDelay:  *maxDelay,
-		Trace:     log,
+		Partition:      part,
+		Proposals:      props,
+		Algorithm:      algo,
+		Engine:         eng,
+		Seed:           *seed,
+		Crashes:        sched,
+		MaxRounds:      *maxRounds,
+		Timeout:        *timeout,
+		MaxVirtualTime: *maxVTime,
+		MaxDelay:       *maxDelay,
+		Trace:          log,
 	}
 
 	fmt.Printf("partition : %v\n", part)
+	fmt.Printf("engine    : %v\n", eng)
 	fmt.Printf("algorithm : %v\n", algo)
 	fmt.Printf("proposals : %s\n", renderProposals(props))
 	if sched != nil && sched.Len() > 0 {

@@ -29,6 +29,27 @@
 // clusters, each with at least one surviving process, covers a majority of
 // all processes — even when a majority of processes crash.
 //
+// # Execution engines
+//
+// Runs execute on one of two engines (Config.Engine):
+//
+//   - EngineVirtual (default): a deterministic discrete-event simulation
+//     (internal/vclock). Message transit advances a virtual clock instead
+//     of sleeping; processes are cooperatively stepped coroutines; the
+//     whole run is a pure function of the Config, so the same Seed replays
+//     the same execution bit for bit — same Result, same trace. Blocked
+//     runs (liveness condition violated) are detected deterministically by
+//     quiescence, bounded further by Config.MaxVirtualTime and
+//     Config.MaxSteps; no wall-clock time is ever spent.
+//   - EngineRealtime: the goroutine-per-process backend. Delays sleep real
+//     time, interleavings come from the Go scheduler, stuck runs are cut
+//     off by Config.Timeout. Non-reproducible; kept as a differential
+//     check that the algorithms assume nothing about scheduling.
+//
+// Because virtual runs are single-threaded and never sleep, sweeps of
+// thousands of seeded configurations parallelize across cores
+// (SweepConfigs, internal/harness).
+//
 // # Quick start
 //
 //	part := allforone.Fig1Right() // n=7: {p1} {p2..p5} {p6,p7}

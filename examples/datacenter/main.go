@@ -87,7 +87,10 @@ func main() {
 		verdict = "ABORT"
 	}
 	fmt.Printf("\ndecision: %s (value %v), reached by %d surviving replicas\n", verdict, val, count)
-	fmt.Printf("rounds: %d   WAN messages: %d   shared-memory ops: %d   wall time: %v\n",
+	// Under the default virtual engine, Elapsed is simulated WAN time: the
+	// run models milliseconds of transit while completing in microseconds
+	// of real time, deterministically.
+	fmt.Printf("rounds: %d   WAN messages: %d   shared-memory ops: %d   simulated time: %v\n",
 		res.MaxDecisionRound(), res.Metrics.MsgsSent, res.Metrics.ConsInvocations,
 		res.Elapsed.Round(time.Millisecond))
 

@@ -1,0 +1,3 @@
+module allforone
+
+go 1.24

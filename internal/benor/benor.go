@@ -22,6 +22,7 @@ import (
 	"allforone/internal/model"
 	"allforone/internal/netsim"
 	"allforone/internal/sim"
+	"allforone/internal/vclock"
 )
 
 // Config describes one Ben-Or execution.
@@ -33,13 +34,20 @@ type Config struct {
 	Proposals []model.Value
 	// Seed makes all randomness reproducible.
 	Seed int64
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic discrete-event simulation — same
+	// Config, same Result). sim.EngineRealtime keeps the original
+	// goroutine-per-process backend.
+	Engine sim.Engine
 	// Crashes is the failure pattern; nil means crash-free. Stage
 	// StageAfterClusterConsensus has no counterpart here and triggers at
 	// the next step point.
 	Crashes *failures.Schedule
 	// MaxRounds bounds execution; 0 = unbounded.
 	MaxRounds int
-	// Timeout aborts blocked runs; zero means DefaultTimeout.
+	// Timeout aborts blocked realtime-engine runs; zero means
+	// DefaultTimeout. The virtual engine detects blocked runs by
+	// quiescence instead and ignores this field.
 	Timeout time.Duration
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
@@ -117,11 +125,17 @@ type proc struct {
 	local     coin.Local
 	sched     *failures.Schedule
 	ctr       *metrics.Counters
-	done      <-chan struct{}
+	done      <-chan struct{}   // realtime engine: runner's abort signal
+	clock     *vclock.Scheduler // virtual engine: abort is scheduler state
+	killed    *bool             // virtual engine: a timed crash has struck
 	rng       *rand.Rand
 	maxRounds int
 	pending   map[phaseKey][]model.Value
 }
+
+// killedNow reports whether a timed (virtual-instant) crash has struck this
+// process; it halts at the next step point that observes it.
+func (p *proc) killedNow() bool { return p.killed != nil && *p.killed }
 
 type outcome struct {
 	status sim.Status
@@ -131,12 +145,20 @@ type outcome struct {
 }
 
 func (p *proc) checkAbort(r int) *outcome {
-	select {
-	case <-p.done:
-		return &outcome{status: sim.StatusBlocked, round: r - 1}
-	default:
+	if p.killedNow() {
+		return &outcome{status: sim.StatusCrashed, round: r}
 	}
-	if p.maxRounds > 0 && r > p.maxRounds {
+	aborted := false
+	if p.clock != nil {
+		aborted = p.clock.Aborted()
+	} else {
+		select {
+		case <-p.done:
+			aborted = true
+		default:
+		}
+	}
+	if aborted || (p.maxRounds > 0 && r > p.maxRounds) {
 		return &outcome{status: sim.StatusBlocked, round: r - 1}
 	}
 	return nil
@@ -165,6 +187,11 @@ func (p *proc) exchange(r, ph int, est model.Value) (*tally, *outcome) {
 
 	for 2*t.total <= p.n {
 		msg, ok := p.net.Receive(p.id, p.done)
+		if p.killedNow() {
+			// A timed crash struck while waiting: halt before acting on
+			// whatever was (or was not) received.
+			return nil, &outcome{status: sim.StatusCrashed, round: r}
+		}
 		if !ok {
 			return nil, &outcome{status: sim.StatusBlocked, round: r}
 		}
@@ -255,8 +282,61 @@ func (p *proc) run(proposal model.Value) outcome {
 // ErrInvariantBroken reports a protocol invariant violation (a bug).
 var ErrInvariantBroken = errors.New("benor: protocol invariant broken")
 
-// Run executes one Ben-Or consensus instance and returns per-process
-// outcomes.
+// newProc builds process i's runtime state.
+func newProc(cfg *Config, i int, nw *netsim.Network, ctr *metrics.Counters) *proc {
+	id := model.ProcID(i)
+	var localCoin coin.Local
+	if cfg.LocalCoinOverride != nil {
+		localCoin = cfg.LocalCoinOverride(id)
+	} else {
+		localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
+	}
+	s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x1405_7b7e_f767_814f, id)
+	return &proc{
+		id:        id,
+		n:         cfg.N,
+		net:       nw,
+		local:     localCoin,
+		sched:     cfg.Crashes,
+		ctr:       ctr,
+		rng:       rand.New(rand.NewPCG(s1, s2)),
+		maxRounds: cfg.MaxRounds,
+		pending:   make(map[phaseKey][]model.Value),
+	}
+}
+
+// newNetwork wires the simulated network; extraOpts lets the virtual driver
+// attach its scheduler.
+func newNetwork(cfg *Config, ctr *metrics.Counters, extraOpts ...netsim.Option) (*netsim.Network, error) {
+	netOpts := []netsim.Option{
+		netsim.WithSeed(uint64(cfg.Seed) ^ 0x9e6c_63d0_876a_9a7d),
+		netsim.WithCounters(ctr),
+	}
+	if cfg.MaxDelay > 0 {
+		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
+	}
+	netOpts = append(netOpts, extraOpts...)
+	return netsim.New(cfg.N, netOpts...)
+}
+
+// assemble builds the Result from the collected outcomes.
+func assemble(cfg *Config, outcomes []outcome, ctr *metrics.Counters, elapsed time.Duration) (*sim.Result, error) {
+	res := &sim.Result{
+		Procs:   make([]sim.ProcResult, cfg.N),
+		Metrics: ctr.Read(),
+		Elapsed: elapsed,
+	}
+	for i, o := range outcomes {
+		if o.status == sim.StatusFailed {
+			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
+		}
+		res.Procs[i] = sim.ProcResult{Status: o.status, Decision: o.val, Round: o.round}
+	}
+	return res, nil
+}
+
+// Run executes one Ben-Or consensus instance under the configured engine
+// and returns per-process outcomes.
 func Run(cfg Config) (*sim.Result, error) {
 	if cfg.N <= 0 {
 		return nil, fmt.Errorf("%w: need at least one process", ErrBadConfig)
@@ -269,16 +349,61 @@ func Run(cfg Config) (*sim.Result, error) {
 			return nil, fmt.Errorf("%w: proposal of %v is %v", ErrBadConfig, model.ProcID(i), v)
 		}
 	}
+	if cfg.Engine == sim.EngineRealtime {
+		return runRealtime(&cfg)
+	}
+	return runVirtual(&cfg)
+}
 
+// runVirtual drives the run on a deterministic discrete-event scheduler:
+// same Config, same Result. Blocked runs end at quiescence instead of a
+// wall-clock timeout.
+func runVirtual(cfg *Config) (*sim.Result, error) {
 	var ctr metrics.Counters
-	netOpts := []netsim.Option{
-		netsim.WithSeed(uint64(cfg.Seed) ^ 0x9e6c_63d0_876a_9a7d),
-		netsim.WithCounters(&ctr),
+	clock := vclock.New(vclock.WithMaxSteps(sim.DefaultMaxSteps))
+	nw, err := newNetwork(cfg, &ctr, netsim.WithScheduler(clock))
+	if err != nil {
+		return nil, err
 	}
-	if cfg.MaxDelay > 0 {
-		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
+	outcomes := make([]outcome, cfg.N)
+	killed := make([]bool, cfg.N)
+	for i := 0; i < cfg.N; i++ {
+		p := newProc(cfg, i, nw, &ctr)
+		p.clock = clock
+		p.killed = &killed[i]
+		proposal := cfg.Proposals[i]
+		vp := clock.Spawn(fmt.Sprintf("p%d", i), func() {
+			outcomes[p.id] = p.run(proposal)
+			nw.CloseInbox(p.id)
+		})
+		nw.Bind(p.id, vp)
 	}
-	nw, err := netsim.New(cfg.N, netOpts...)
+	// Timed crashes at virtual instants (Timed() is sorted, keeping event
+	// installation deterministic).
+	for _, tc := range cfg.Crashes.Timed() {
+		pid := tc.P
+		clock.At(vclock.Time(tc.At), func() {
+			killed[pid] = true
+			nw.CloseInbox(pid)
+		})
+	}
+	out := clock.Run()
+	nw.Shutdown()
+	res, err := assemble(cfg, outcomes, &ctr, time.Duration(out.Now))
+	if err != nil {
+		return nil, err
+	}
+	res.VirtualTime = time.Duration(out.Now)
+	res.Steps = out.Steps
+	res.Quiesced = out.Quiesced
+	return res, nil
+}
+
+// runRealtime is the goroutine-per-process backend, kept for differential
+// testing against the virtual engine.
+func runRealtime(cfg *Config) (*sim.Result, error) {
+	var ctr metrics.Counters
+	nw, err := newNetwork(cfg, &ctr)
 	if err != nil {
 		return nil, err
 	}
@@ -288,26 +413,8 @@ func Run(cfg Config) (*sim.Result, error) {
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < cfg.N; i++ {
-		id := model.ProcID(i)
-		var localCoin coin.Local
-		if cfg.LocalCoinOverride != nil {
-			localCoin = cfg.LocalCoinOverride(id)
-		} else {
-			localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
-		}
-		s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x1405_7b7e_f767_814f, id)
-		p := &proc{
-			id:        id,
-			n:         cfg.N,
-			net:       nw,
-			local:     localCoin,
-			sched:     cfg.Crashes,
-			ctr:       &ctr,
-			done:      done,
-			rng:       rand.New(rand.NewPCG(s1, s2)),
-			maxRounds: cfg.MaxRounds,
-			pending:   make(map[phaseKey][]model.Value),
-		}
+		p := newProc(cfg, i, nw, &ctr)
+		p.done = done
 		proposal := cfg.Proposals[i]
 		wg.Add(1)
 		go func(p *proc) {
@@ -336,17 +443,5 @@ func Run(cfg Config) (*sim.Result, error) {
 	}
 	elapsed := time.Since(start)
 	nw.Shutdown()
-
-	res := &sim.Result{
-		Procs:   make([]sim.ProcResult, cfg.N),
-		Metrics: ctr.Read(),
-		Elapsed: elapsed,
-	}
-	for i, o := range outcomes {
-		if o.status == sim.StatusFailed {
-			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
-		}
-		res.Procs[i] = sim.ProcResult{Status: o.status, Decision: o.val, Round: o.round}
-	}
-	return res, nil
+	return assemble(cfg, outcomes, &ctr, elapsed)
 }

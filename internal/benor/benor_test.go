@@ -270,3 +270,36 @@ func TestTallyHelpers(t *testing.T) {
 		t.Errorf("received = %v, want [0 ⊥]", rec)
 	}
 }
+
+// Timed (virtual-instant) crashes are honored by the virtual engine: the
+// victim ends crashed, not decided or blocked, and the run stays safe.
+func TestTimedCrashVirtual(t *testing.T) {
+	t.Parallel()
+	sched := failures.NewSchedule(5)
+	// Strikes before any exchange can complete (MinDelay floors transit).
+	if err := sched.SetTimed(0, 50*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{
+		N:         5,
+		Proposals: []model.Value{model.One, model.One, model.One, model.One, model.One},
+		Seed:      13,
+		Crashes:   sched,
+		MaxRounds: 10_000,
+		MinDelay:  200 * time.Microsecond,
+		MaxDelay:  time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Procs[0].Status != sim.StatusCrashed {
+		t.Fatalf("victim = %+v, want crashed", res.Procs[0])
+	}
+	if err := res.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	// 4 of 5 survive — a majority — so the survivors decide.
+	if !res.AllLiveDecided() {
+		t.Fatalf("survivors did not decide: %+v", res.Procs)
+	}
+}

@@ -112,6 +112,12 @@ func (p *proc) msgExchange(r, ph int, est model.Value) (*supporters, *outcome) {
 	// Collect until the closure covers a majority (lines 4-7).
 	for !sup.exitCondition() {
 		msg, ok := p.net.Receive(p.id, p.done)
+		if p.killedNow() {
+			// A timed crash struck while this process was waiting: it halts
+			// here, before acting on whatever was (or was not) received.
+			out := p.crashNow(r, ph)
+			return nil, &out
+		}
 		if !ok {
 			out := outcome{status: StatusBlocked, round: r}
 			p.log.Append(p.id, trace.KindBlocked, r, ph, model.Bot)

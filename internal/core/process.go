@@ -11,6 +11,7 @@ import (
 	"allforone/internal/netsim"
 	"allforone/internal/sim"
 	"allforone/internal/trace"
+	"allforone/internal/vclock"
 )
 
 // Status re-exports the shared outcome vocabulary (see internal/sim).
@@ -34,7 +35,8 @@ type outcome struct {
 
 // proc is one simulated process: its identity, its cluster's shared
 // objects, the network, its coins, and its crash plan. A proc is owned by
-// exactly one goroutine.
+// exactly one goroutine (realtime engine) or one scheduler coroutine
+// (virtual engine).
 type proc struct {
 	id     model.ProcID
 	part   *model.Partition
@@ -45,8 +47,10 @@ type proc struct {
 	sched  *failures.Schedule
 	ctr    *metrics.Counters
 	log    *trace.Log
-	done   <-chan struct{}
-	rng    *rand.Rand // drives the "arbitrary subset" of interrupted broadcasts
+	done   <-chan struct{}   // realtime engine: runner's abort signal
+	clock  *vclock.Scheduler // virtual engine: abort is scheduler state
+	killed *bool             // virtual engine: a timed crash has struck
+	rng    *rand.Rand        // drives the "arbitrary subset" of interrupted broadcasts
 
 	maxRounds int // 0 = unbounded
 	pending   map[phaseKey][]bufferedMsg
@@ -57,20 +61,37 @@ type proc struct {
 	ablateCluster bool
 }
 
-// checkAbort implements the per-round stop conditions: the MaxRounds cap
-// and the runner's abort signal. Exchange blocks also observe done, but a
-// process whose mailbox never drains would otherwise keep executing rounds
-// past the runner's timeout; the round-boundary check bounds that overrun
-// to one round. It returns a non-nil blocked outcome when the process must
-// stop.
-func (p *proc) checkAbort(r int) *outcome {
-	aborted := false
+// abortedNow reports whether the runner has aborted the execution: the
+// realtime engine closes the done channel at Timeout; the virtual engine's
+// scheduler aborts on quiescence, deadline, or step budget.
+func (p *proc) abortedNow() bool {
+	if p.clock != nil {
+		return p.clock.Aborted()
+	}
 	select {
 	case <-p.done:
-		aborted = true
+		return true
 	default:
+		return false
 	}
-	if aborted || (p.maxRounds > 0 && r > p.maxRounds) {
+}
+
+// killedNow reports whether a timed (virtual-instant) crash has struck this
+// process; it halts at the next step point that observes it.
+func (p *proc) killedNow() bool { return p.killed != nil && *p.killed }
+
+// checkAbort implements the per-round stop conditions: a timed crash, the
+// MaxRounds cap, and the runner's abort signal. Exchange blocks also
+// observe the abort, but a process whose mailbox never drains would
+// otherwise keep executing rounds past the runner's bound; the
+// round-boundary check limits that overrun to one round. It returns a
+// non-nil outcome when the process must stop.
+func (p *proc) checkAbort(r int) *outcome {
+	if p.killedNow() {
+		out := p.crashNow(r, 1)
+		return &out
+	}
+	if p.abortedNow() || (p.maxRounds > 0 && r > p.maxRounds) {
 		p.log.Append(p.id, trace.KindBlocked, r, 0, model.Bot)
 		return &outcome{status: StatusBlocked, round: r - 1}
 	}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"sync"
+	"time"
+)
+
+// runRealtime is the goroutine-per-process backend: it spawns one goroutine
+// per process, waits for every process to finish (decide, crash, or be
+// aborted at Timeout), and returns the collected outcomes. Interleavings
+// are decided by the Go scheduler and wall-clock message delays, so runs
+// are NOT reproducible; the backend exists as a differential check for the
+// deterministic virtual engine.
+func runRealtime(cfg *Config, n int) (*Result, error) {
+	env, err := newExecEnv(cfg, n)
+	if err != nil {
+		return nil, err
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		p := env.newProc(cfg, i)
+		p.done = done
+		proposal := cfg.Proposals[i]
+		wg.Add(1)
+		go func(p *proc) {
+			defer wg.Done()
+			env.run(cfg, p, proposal)
+		}(p)
+	}
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	timer := time.NewTimer(timeout)
+	select {
+	case <-finished:
+		timer.Stop()
+	case <-timer.C:
+		close(done) // abort blocked processes; they end as StatusBlocked
+		<-finished
+	}
+	elapsed := time.Since(start)
+	env.nw.Shutdown()
+	return env.buildResult(elapsed)
+}

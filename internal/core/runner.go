@@ -4,7 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sync"
 	"time"
 
 	"allforone/internal/coin"
@@ -51,6 +50,16 @@ func (a Algorithm) Phases() int {
 	return 1
 }
 
+// Engine selects the execution engine that drives the simulated processes;
+// the vocabulary is shared with the baselines (see internal/sim).
+type Engine = sim.Engine
+
+// The two engines; EngineVirtual is the zero value and the default.
+const (
+	EngineVirtual  = sim.EngineVirtual
+	EngineRealtime = sim.EngineRealtime
+)
+
 // Config describes one consensus execution.
 type Config struct {
 	// Partition is the cluster decomposition (required).
@@ -61,21 +70,37 @@ type Config struct {
 	// Algorithm selects local-coin (Algorithm 2) or common-coin
 	// (Algorithm 3).
 	Algorithm Algorithm
+	// Engine selects the execution engine; the zero value is EngineVirtual.
+	Engine Engine
 	// Seed makes all randomness of the run (coins, delays, crash subsets)
-	// reproducible.
+	// reproducible. Under EngineVirtual it pins the entire execution.
 	Seed int64
 	// Crashes is the failure pattern; nil means crash-free.
 	Crashes *failures.Schedule
 	// MaxRounds bounds the rounds each process executes; 0 = unbounded.
 	// Processes exceeding the bound end as StatusBlocked.
 	MaxRounds int
-	// Timeout aborts a run whose processes are stuck waiting (e.g. when the
-	// liveness condition does not hold); blocked processes end as
-	// StatusBlocked. Zero means DefaultTimeout.
+	// Timeout aborts a realtime-engine run whose processes are stuck
+	// waiting (e.g. when the liveness condition does not hold); blocked
+	// processes end as StatusBlocked. Zero means DefaultTimeout. The
+	// virtual engine ignores it: a stuck run is detected deterministically
+	// by quiescence, and bounded by MaxVirtualTime / MaxSteps.
 	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run:
+	// once the next event lies past the bound the run is aborted and
+	// undecided processes end as StatusBlocked. Zero means unbounded
+	// (quiescence detection and MaxSteps still bound stuck runs).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of scheduler events of an EngineVirtual
+	// run — the deterministic guard against executions that never converge
+	// (e.g. a rigged coin that never matches). Zero means DefaultMaxSteps;
+	// negative means unbounded.
+	MaxSteps int64
 	// MinDelay/MaxDelay bound the uniform random message transit time.
-	// A zero MaxDelay means immediate delivery (asynchrony still arises
-	// from goroutine scheduling).
+	// A zero MaxDelay means immediate delivery (under the realtime engine
+	// asynchrony still arises from goroutine scheduling; under the virtual
+	// engine zero-delay messages are delivered in deterministic send
+	// order).
 	MinDelay, MaxDelay time.Duration
 	// Trace, when non-nil, records the event history of the run.
 	Trace *trace.Log
@@ -103,8 +128,14 @@ type Config struct {
 	AblateClusterConsensus bool
 }
 
-// DefaultTimeout bounds runs whose liveness condition may not hold.
+// DefaultTimeout bounds realtime-engine runs whose liveness condition may
+// not hold.
 const DefaultTimeout = 30 * time.Second
+
+// DefaultMaxSteps bounds virtual-engine runs that never converge: a run
+// processing this many delivery events without terminating is aborted
+// deterministically (undecided processes end as StatusBlocked).
+const DefaultMaxSteps = sim.DefaultMaxSteps
 
 // ProcResult and Result re-export the shared outcome vocabulary
 // (see internal/sim).
@@ -136,16 +167,131 @@ func (cfg *Config) validate() (int, error) {
 	if cfg.Algorithm != LocalCoin && cfg.Algorithm != CommonCoin {
 		return 0, fmt.Errorf("%w: unknown algorithm %d", ErrBadConfig, int(cfg.Algorithm))
 	}
+	if cfg.Engine != EngineVirtual && cfg.Engine != EngineRealtime {
+		return 0, fmt.Errorf("%w: unknown engine %d", ErrBadConfig, int(cfg.Engine))
+	}
 	if cfg.MaxRounds < 0 {
 		return 0, fmt.Errorf("%w: negative MaxRounds", ErrBadConfig)
 	}
 	return n, nil
 }
 
-// Run executes one consensus instance: it spawns one goroutine per process,
-// wires the cluster memories, network, coins and failure injection, waits
-// for every process to finish (decide, crash, or be aborted at Timeout),
-// and returns the collected outcomes.
+// execEnv is the substrate of one execution, shared by both engines: the
+// network, the per-cluster memories and CONS arrays, the coins, and the
+// outcome slots.
+type execEnv struct {
+	n        int
+	part     *model.Partition
+	ctr      metrics.Counters
+	nw       *netsim.Network
+	arrays   []*consensusobj.Array
+	common   coin.Common
+	outcomes []outcome
+}
+
+// newExecEnv wires the substrate. extraNetOpts lets an engine add its own
+// network options (the virtual engine attaches its scheduler).
+func newExecEnv(cfg *Config, n int, extraNetOpts ...netsim.Option) (*execEnv, error) {
+	env := &execEnv{
+		n:        n,
+		part:     cfg.Partition,
+		outcomes: make([]outcome, n),
+	}
+	netOpts := []netsim.Option{
+		netsim.WithSeed(uint64(cfg.Seed) ^ 0xa076_1d64_78bd_642f),
+		netsim.WithCounters(&env.ctr),
+	}
+	if cfg.MaxDelay > 0 {
+		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
+	}
+	netOpts = append(netOpts, extraNetOpts...)
+	nw, err := netsim.New(n, netOpts...)
+	if err != nil {
+		return nil, err
+	}
+	env.nw = nw
+
+	// One memory and one CONS array per cluster.
+	env.arrays = make([]*consensusobj.Array, env.part.M())
+	for x := range env.arrays {
+		env.arrays[x] = consensusobj.NewArray(shmem.NewMemory(), "CONS")
+	}
+
+	env.common = coin.NewSplitMixCommon(uint64(cfg.Seed) ^ 0x2545_f491_4f6c_dd1d)
+	if cfg.CommonCoinOverride != nil {
+		env.common = cfg.CommonCoinOverride
+	}
+	return env, nil
+}
+
+// newProc builds process i's runtime state.
+func (env *execEnv) newProc(cfg *Config, i int) *proc {
+	id := model.ProcID(i)
+	var localCoin coin.Local
+	if cfg.LocalCoinOverride != nil {
+		localCoin = cfg.LocalCoinOverride(id)
+	} else {
+		localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
+	}
+	s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x6c62_272e_07bb_0142, id)
+	return &proc{
+		id:            id,
+		part:          env.part,
+		net:           env.nw,
+		cons:          env.arrays[env.part.ClusterOf(id)],
+		local:         localCoin,
+		common:        env.common,
+		sched:         cfg.Crashes,
+		ctr:           &env.ctr,
+		log:           cfg.Trace,
+		rng:           rand.New(rand.NewPCG(s1, s2)),
+		maxRounds:     cfg.MaxRounds,
+		pending:       make(map[phaseKey][]bufferedMsg),
+		ablateClosure: cfg.AblateClosure,
+		ablateCluster: cfg.AblateClusterConsensus,
+	}
+}
+
+// run executes the configured algorithm on behalf of p and stores the
+// outcome, closing p's inbox on the way out.
+func (env *execEnv) run(cfg *Config, p *proc, proposal model.Value) {
+	switch cfg.Algorithm {
+	case LocalCoin:
+		env.outcomes[p.id] = p.runLocalCoin(proposal)
+	case CommonCoin:
+		env.outcomes[p.id] = p.runCommonCoin(proposal)
+	}
+	env.nw.CloseInbox(p.id)
+}
+
+// buildResult assembles the Result from the collected outcomes.
+func (env *execEnv) buildResult(elapsed time.Duration) (*Result, error) {
+	res := &Result{
+		Procs:           make([]ProcResult, env.n),
+		Metrics:         env.ctr.Read(),
+		ConsInvocations: make([]int64, env.part.M()),
+		ConsAllocations: make([]int64, env.part.M()),
+		Elapsed:         elapsed,
+	}
+	for i, o := range env.outcomes {
+		if o.status == StatusFailed {
+			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
+		}
+		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Round: o.round}
+	}
+	for x := range env.arrays {
+		res.ConsInvocations[x] = env.arrays[x].Invocations()
+		res.ConsAllocations[x] = env.arrays[x].Allocations()
+	}
+	return res, nil
+}
+
+// Run executes one consensus instance under the configured engine and
+// returns the collected outcomes. Under EngineVirtual (the default) the run
+// is a deterministic discrete-event simulation: identical Configs yield
+// identical Results and traces. Under EngineRealtime one goroutine per
+// process races the Go scheduler, as a differential check that the
+// algorithms do not depend on any scheduling discipline.
 //
 // Run returns an error for invalid configurations and for protocol
 // invariant violations (which indicate a bug, never a legal execution).
@@ -154,112 +300,8 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	part := cfg.Partition
-
-	var ctr metrics.Counters
-	netOpts := []netsim.Option{
-		netsim.WithSeed(uint64(cfg.Seed) ^ 0xa076_1d64_78bd_642f),
-		netsim.WithCounters(&ctr),
+	if cfg.Engine == EngineRealtime {
+		return runRealtime(&cfg, n)
 	}
-	if cfg.MaxDelay > 0 {
-		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
-	}
-	nw, err := netsim.New(n, netOpts...)
-	if err != nil {
-		return nil, err
-	}
-
-	// One memory and one CONS array per cluster.
-	arrays := make([]*consensusobj.Array, part.M())
-	for x := range arrays {
-		arrays[x] = consensusobj.NewArray(shmem.NewMemory(), "CONS")
-	}
-
-	var commonCoin coin.Common = coin.NewSplitMixCommon(uint64(cfg.Seed) ^ 0x2545_f491_4f6c_dd1d)
-	if cfg.CommonCoinOverride != nil {
-		commonCoin = cfg.CommonCoinOverride
-	}
-
-	done := make(chan struct{})
-	outcomes := make([]outcome, n)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		id := model.ProcID(i)
-		var localCoin coin.Local
-		if cfg.LocalCoinOverride != nil {
-			localCoin = cfg.LocalCoinOverride(id)
-		} else {
-			localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
-		}
-		s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x6c62_272e_07bb_0142, id)
-		p := &proc{
-			id:            id,
-			part:          part,
-			net:           nw,
-			cons:          arrays[part.ClusterOf(id)],
-			local:         localCoin,
-			common:        commonCoin,
-			sched:         cfg.Crashes,
-			ctr:           &ctr,
-			log:           cfg.Trace,
-			done:          done,
-			rng:           rand.New(rand.NewPCG(s1, s2)),
-			maxRounds:     cfg.MaxRounds,
-			pending:       make(map[phaseKey][]bufferedMsg),
-			ablateClosure: cfg.AblateClosure,
-			ablateCluster: cfg.AblateClusterConsensus,
-		}
-		proposal := cfg.Proposals[i]
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			switch cfg.Algorithm {
-			case LocalCoin:
-				outcomes[p.id] = p.runLocalCoin(proposal)
-			case CommonCoin:
-				outcomes[p.id] = p.runCommonCoin(proposal)
-			}
-			nw.CloseInbox(p.id)
-		}(p)
-	}
-
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	timer := time.NewTimer(timeout)
-	select {
-	case <-finished:
-		timer.Stop()
-	case <-timer.C:
-		close(done) // abort blocked processes; they end as StatusBlocked
-		<-finished
-	}
-	elapsed := time.Since(start)
-	nw.Shutdown()
-
-	res := &Result{
-		Procs:           make([]ProcResult, n),
-		Metrics:         ctr.Read(),
-		ConsInvocations: make([]int64, part.M()),
-		ConsAllocations: make([]int64, part.M()),
-		Elapsed:         elapsed,
-	}
-	for i, o := range outcomes {
-		if o.status == StatusFailed {
-			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)
-		}
-		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Round: o.round}
-	}
-	for x := range arrays {
-		res.ConsInvocations[x] = arrays[x].Invocations()
-		res.ConsAllocations[x] = arrays[x].Allocations()
-	}
-	return res, nil
+	return runVirtual(&cfg, n)
 }

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"allforone/internal/netsim"
+	"allforone/internal/vclock"
+)
+
+// runVirtual is the deterministic discrete-event backend: every process is
+// a cooperatively stepped coroutine on a virtual-time scheduler, message
+// transit is a timestamped delivery event, and the whole execution is a
+// pure function of the Config — same Config, same Result, same trace.
+//
+// A run ends when every process terminated, or when the scheduler aborts:
+// on quiescence (undecided processes parked with no pending events — the
+// deterministic replacement for the realtime engine's wall-clock timeout),
+// on the MaxVirtualTime bound, or on the MaxSteps event budget. Aborted
+// processes end as StatusBlocked.
+//
+// The Result's Elapsed field reports virtual time (also mirrored in
+// VirtualTime), so Results are bit-reproducible.
+func runVirtual(cfg *Config, n int) (*Result, error) {
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = DefaultMaxSteps
+	} else if maxSteps < 0 {
+		maxSteps = 0 // vclock: 0 = unbounded
+	}
+	clock := vclock.New(
+		vclock.WithDeadline(vclock.Time(cfg.MaxVirtualTime)),
+		vclock.WithMaxSteps(maxSteps),
+	)
+	env, err := newExecEnv(cfg, n, netsim.WithScheduler(clock))
+	if err != nil {
+		return nil, err
+	}
+
+	killed := make([]bool, n)
+	for i := 0; i < n; i++ {
+		p := env.newProc(cfg, i)
+		p.clock = clock
+		p.killed = &killed[i]
+		proposal := cfg.Proposals[i]
+		vp := clock.Spawn(fmt.Sprintf("p%d", i), func() {
+			env.run(cfg, p, proposal)
+		})
+		env.nw.Bind(p.id, vp)
+	}
+
+	// Timed crashes: at each virtual instant, mark the victim killed and
+	// close its inbox; the victim halts at its next step point. Timed()
+	// returns a sorted slice, keeping event installation deterministic.
+	for _, tc := range cfg.Crashes.Timed() {
+		pid := tc.P
+		clock.At(vclock.Time(tc.At), func() {
+			killed[pid] = true
+			env.nw.CloseInbox(pid)
+		})
+	}
+
+	out := clock.Run()
+	env.nw.Shutdown()
+
+	res, err := env.buildResult(time.Duration(out.Now))
+	if err != nil {
+		return nil, err
+	}
+	res.VirtualTime = time.Duration(out.Now)
+	res.Steps = out.Steps
+	res.Quiesced = out.Quiesced
+	return res, nil
+}

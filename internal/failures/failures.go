@@ -12,6 +12,8 @@ package failures
 import (
 	"fmt"
 	"math/rand/v2"
+	"sort"
+	"time"
 
 	"allforone/internal/model"
 )
@@ -102,16 +104,25 @@ type Crash struct {
 }
 
 // Schedule is a full failure pattern: which processes crash, and where.
+// Crash points come in two flavors: step points ((round, phase, stage)
+// positions in the algorithm, Set) and virtual instants (a point on the
+// discrete-event clock, SetTimed — honored by the virtual-time engine,
+// where "an instant" is well defined; the realtime engine ignores them).
 // A Schedule is immutable after construction; methods with value semantics
 // are safe for concurrent use.
 type Schedule struct {
 	n       int
 	crashes map[model.ProcID]Crash
+	timed   map[model.ProcID]time.Duration
 }
 
 // NewSchedule returns an empty (crash-free) schedule over n processes.
 func NewSchedule(n int) *Schedule {
-	return &Schedule{n: n, crashes: make(map[model.ProcID]Crash)}
+	return &Schedule{
+		n:       n,
+		crashes: make(map[model.ProcID]Crash),
+		timed:   make(map[model.ProcID]time.Duration),
+	}
 }
 
 // Set installs a crash plan for process p, replacing any previous plan.
@@ -125,6 +136,52 @@ func (s *Schedule) Set(p model.ProcID, c Crash) error {
 	}
 	s.crashes[p] = c
 	return nil
+}
+
+// SetTimed schedules process p to crash at virtual instant at (measured
+// from the start of the run). The process halts at the first step point it
+// reaches once the virtual clock passes at — a crash between two atomic
+// steps, as the model demands. Timed crashes are only meaningful under the
+// virtual-time engine. A process may carry both a timed and a step-point
+// plan; whichever strikes first wins.
+func (s *Schedule) SetTimed(p model.ProcID, at time.Duration) error {
+	if int(p) < 0 || int(p) >= s.n {
+		return fmt.Errorf("failures: process %v out of range [0,%d)", p, s.n)
+	}
+	if at < 0 {
+		return fmt.Errorf("failures: negative crash instant %v", at)
+	}
+	s.timed[p] = at
+	return nil
+}
+
+// TimedPlan returns p's timed crash instant, if any.
+func (s *Schedule) TimedPlan(p model.ProcID) (time.Duration, bool) {
+	if s == nil {
+		return 0, false
+	}
+	at, ok := s.timed[p]
+	return at, ok
+}
+
+// TimedCrash is one entry of a schedule's virtual-instant crash plan.
+type TimedCrash struct {
+	P  model.ProcID
+	At time.Duration
+}
+
+// Timed returns every timed crash, sorted by process id — a deterministic
+// order the virtual engine can install events in. A nil schedule has none.
+func (s *Schedule) Timed() []TimedCrash {
+	if s == nil || len(s.timed) == 0 {
+		return nil
+	}
+	out := make([]TimedCrash, 0, len(s.timed))
+	for p, at := range s.timed {
+		out = append(out, TimedCrash{P: p, At: at})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].P < out[j].P })
+	return out
 }
 
 // Plan returns p's crash plan, if any.
@@ -160,15 +217,24 @@ func (s *Schedule) Crashed() *model.ProcSet {
 	for p := range s.crashes {
 		set.Add(p)
 	}
+	for p := range s.timed {
+		set.Add(p)
+	}
 	return set
 }
 
-// Len returns the number of processes scheduled to crash.
+// Len returns the number of distinct processes scheduled to crash.
 func (s *Schedule) Len() int {
 	if s == nil {
 		return 0
 	}
-	return len(s.crashes)
+	n := len(s.crashes)
+	for p := range s.timed {
+		if _, dup := s.crashes[p]; !dup {
+			n++
+		}
+	}
+	return n
 }
 
 // CrashAllExcept builds a schedule crashing every process at the given

@@ -3,6 +3,7 @@ package failures
 import (
 	"math/rand/v2"
 	"testing"
+	"time"
 
 	"allforone/internal/model"
 )
@@ -224,5 +225,53 @@ func TestRandomSubset(t *testing.T) {
 	mean := float64(total) / trials
 	if mean < float64(n)*0.35 || mean > float64(n)*0.65 {
 		t.Errorf("mean subset size = %v, want ≈%v", mean, n/2)
+	}
+}
+
+func TestTimedCrashes(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(5)
+	if err := s.SetTimed(3, 2*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTimed(1, 500*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTimed(9, time.Millisecond); err == nil {
+		t.Error("SetTimed accepted an out-of-range process")
+	}
+	if err := s.SetTimed(2, -time.Millisecond); err == nil {
+		t.Error("SetTimed accepted a negative instant")
+	}
+	if at, ok := s.TimedPlan(3); !ok || at != 2*time.Millisecond {
+		t.Errorf("TimedPlan(3) = %v, %v", at, ok)
+	}
+	if _, ok := s.TimedPlan(0); ok {
+		t.Error("TimedPlan(0) reported a plan for an uncrashed process")
+	}
+	// Timed() is sorted by process id — the determinism contract the
+	// virtual engine relies on when installing crash events.
+	timed := s.Timed()
+	if len(timed) != 2 || timed[0].P != 1 || timed[1].P != 3 {
+		t.Errorf("Timed() = %+v, want sorted [p2 p4] entries", timed)
+	}
+	// Timed crashes count toward Crashed() and Len(), without
+	// double-counting processes that also have a step-point plan.
+	if err := s.Set(3, Crash{At: Point{Round: 1, Phase: 1, Stage: StageRoundStart}}); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Len(); got != 2 {
+		t.Errorf("Len = %d, want 2", got)
+	}
+	if !s.Crashed().Contains(1) || !s.Crashed().Contains(3) {
+		t.Errorf("Crashed() = %v, want {p2, p4}", s.Crashed())
+	}
+	// Nil-schedule accessors stay safe.
+	var nilSched *Schedule
+	if nilSched.Timed() != nil {
+		t.Error("nil schedule Timed() != nil")
+	}
+	if _, ok := nilSched.TimedPlan(0); ok {
+		t.Error("nil schedule TimedPlan reported a plan")
 	}
 }

@@ -51,6 +51,7 @@ func A1Ablations(opts Options) (*Report, error) {
 				Partition:     part,
 				Proposals:     proposalsFor("unanimous1", part.N(), nil),
 				Algorithm:     core.LocalCoin,
+				Engine:        opts.Engine,
 				Seed:          opts.SeedBase + int64(trial)*101,
 				MaxRounds:     1000,
 				Timeout:       variant.timeout,
@@ -95,6 +96,7 @@ func A1Ablations(opts Options) (*Report, error) {
 				Partition:              leftPart,
 				Proposals:              split,
 				Algorithm:              core.LocalCoin,
+				Engine:                 opts.Engine,
 				Seed:                   opts.SeedBase + int64(trial)*211,
 				MaxRounds:              200,
 				Timeout:                opts.Timeout,

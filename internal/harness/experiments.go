@@ -137,7 +137,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		props := proposalsFor("unanimous1", n, nil)
 		bres, err := benor.Run(benor.Config{
 			N: n, Proposals: props, Seed: opts.SeedBase + int64(trial),
-			Crashes: sched, Timeout: blockedTimeout,
+			Engine: opts.Engine, Crashes: sched, Timeout: blockedTimeout,
 		})
 		if err != nil {
 			return nil, err
@@ -150,7 +150,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		}
 		mres, err := mpcoin.Run(mpcoin.Config{
 			N: n, Proposals: props, Seed: opts.SeedBase + int64(trial),
-			Crashes: sched, Timeout: blockedTimeout,
+			Engine: opts.Engine, Crashes: sched, Timeout: blockedTimeout,
 		})
 		if err != nil {
 			return nil, err
@@ -273,6 +273,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 			Partition: pc.p,
 			Proposals: proposalsFor("unanimous1", pc.p.N(), nil),
 			Algorithm: core.LocalCoin,
+			Engine:    opts.Engine,
 			Seed:      opts.SeedBase + 17,
 			MaxRounds: 10,
 			Timeout:   opts.Timeout,
@@ -450,7 +451,8 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	for trial := 0; trial < opts.Trials; trial++ {
 		res, err := benor.Run(benor.Config{
 			N: n, Proposals: proposalsFor("split", n, rng),
-			Seed: opts.SeedBase + int64(trial)*31, MaxRounds: 10_000, Timeout: opts.Timeout,
+			Engine: opts.Engine,
+			Seed:   opts.SeedBase + int64(trial)*31, MaxRounds: 10_000, Timeout: opts.Timeout,
 		})
 		if err != nil {
 			return nil, err
@@ -515,6 +517,7 @@ func E8Indulgence(opts Options) (*Report, error) {
 					Partition: tc.part,
 					Proposals: props,
 					Algorithm: algo,
+					Engine:    opts.Engine,
 					Seed:      opts.SeedBase + int64(trial)*53,
 					Timeout:   blockedTimeout,
 					Crashes:   sched,
@@ -535,7 +538,7 @@ func E8Indulgence(opts Options) (*Report, error) {
 			rep.Findings[key+"/violations"] = float64(violations)
 		}
 	}
-	tb.AddNote("runs bounded at %v; decided runs must be 0 under these patterns", blockedTimeout)
+	tb.AddNote("blocked runs end at quiescence (virtual engine) or %v (realtime); decided runs must be 0 under these patterns", blockedTimeout)
 	rep.Table = tb
 	return rep, nil
 }

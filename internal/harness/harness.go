@@ -38,9 +38,32 @@ type Options struct {
 	Trials int
 	// SeedBase offsets every trial's seed, for independent repetitions.
 	SeedBase int64
-	// Timeout bounds each individual run (default 20s; blocked-run
-	// experiments use their own shorter bound).
+	// Timeout bounds each individual run under the realtime engine
+	// (default 20s; blocked-run experiments use their own shorter bound).
+	// The virtual engine detects blocked runs by quiescence instead.
 	Timeout time.Duration
+	// Engine selects the execution engine for hybrid-algorithm trials; the
+	// zero value is core.EngineVirtual (deterministic, no wall-clock time).
+	Engine core.Engine
+	// Parallelism caps the worker pool that executes independent trials
+	// concurrently; 0 means one worker per available CPU under the virtual
+	// engine. Virtual runs are deterministic, so aggregation (in trial
+	// order) is independent of the pool size. Realtime trials default to
+	// sequential instead: their outcomes are wall-clock sensitive, and CPU
+	// oversubscription could push runs past Timeout. Set Parallelism
+	// explicitly to force a pool for realtime runs anyway.
+	Parallelism int
+}
+
+// workers resolves the pool size for the configured engine.
+func (o Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	if o.Engine == core.EngineRealtime {
+		return 1
+	}
+	return 0 // Sweep: one worker per CPU
 }
 
 // withDefaults fills unset options.
@@ -100,31 +123,40 @@ func proposalsFor(mode string, n int, rng *rand.Rand) []model.Value {
 // runHybridTrials runs `trials` seeded executions of the hybrid algorithm
 // and aggregates their costs. The cfgFn hook lets callers adjust the config
 // per trial (e.g. attach crash schedules).
+//
+// Configurations are generated sequentially (so the shared proposal RNG
+// stays deterministic) and then executed on the worker pool; aggregation
+// folds results in trial order, so the summary is identical whatever the
+// parallelism.
 func runHybridTrials(part *model.Partition, algo core.Algorithm, mode string, opts Options,
 	cfgFn func(trial int, cfg *core.Config)) (*trialSummary, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewPCG(uint64(opts.SeedBase)+0x9e37, 0x79b9))
-	sum := &trialSummary{trials: opts.Trials}
-	for trial := 0; trial < opts.Trials; trial++ {
-		cfg := core.Config{
+	cfgs := make([]core.Config, opts.Trials)
+	for trial := range cfgs {
+		cfgs[trial] = core.Config{
 			Partition: part,
 			Proposals: proposalsFor(mode, part.N(), rng),
 			Algorithm: algo,
+			Engine:    opts.Engine,
 			Seed:      opts.SeedBase + int64(trial)*1_000_003,
 			MaxRounds: 10_000,
 			Timeout:   opts.Timeout,
 		}
 		if cfgFn != nil {
-			cfgFn(trial, &cfg)
+			cfgFn(trial, &cfgs[trial])
 		}
-		res, err := core.Run(cfg)
-		if err != nil {
-			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
-		}
+	}
+	results, err := Sweep(cfgs, opts.workers())
+	if err != nil {
+		return nil, fmt.Errorf("harness: %w", err)
+	}
+	sum := &trialSummary{trials: opts.Trials}
+	for trial, res := range results {
 		if err := res.CheckAgreement(); err != nil {
 			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
 		}
-		if err := res.CheckValidity(cfg.Proposals); err != nil {
+		if err := res.CheckValidity(cfgs[trial].Proposals); err != nil {
 			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
 		}
 		sum.observe(res)

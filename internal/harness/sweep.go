@@ -1,0 +1,97 @@
+package harness
+
+import (
+	"runtime"
+	"sync"
+
+	"allforone/internal/core"
+	"allforone/internal/sim"
+)
+
+// Sweep executes every configuration on a bounded worker pool and returns
+// the results in input order. Under the virtual engine each run is a
+// single-threaded deterministic simulation, so runs are embarrassingly
+// parallel: a sweep of thousands of seeded configurations saturates all
+// cores without perturbing any individual result. parallelism ≤ 0 means
+// one worker per available CPU.
+//
+// The first error (invalid config or invariant violation) aborts the sweep
+// and is returned; in-flight runs finish, queued ones are skipped.
+func Sweep(cfgs []core.Config, parallelism int) ([]*sim.Result, error) {
+	results := make([]*sim.Result, len(cfgs))
+	err := forEachParallel(parallelism, len(cfgs), func(i int) error {
+		res, err := core.Run(cfgs[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return results, nil
+}
+
+// forEachParallel runs fn(0) … fn(n-1) across a pool of workers and returns
+// the first error. workers ≤ 0 means runtime.NumCPU(). With one worker (or
+// n ≤ 1) it degenerates to a plain sequential loop.
+func forEachParallel(workers, n int, fn func(i int) error) error {
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	claim := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i, ok := claim()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return firstErr
+}

@@ -1,0 +1,81 @@
+package harness
+
+import (
+	"errors"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"allforone/internal/core"
+	"allforone/internal/model"
+)
+
+// sweepConfigs builds k deterministic virtual-engine configurations.
+func sweepConfigs(k int) []core.Config {
+	cfgs := make([]core.Config, k)
+	for i := range cfgs {
+		cfgs[i] = core.Config{
+			Partition: model.Fig1Left(),
+			Proposals: proposalsFor("split", 7, nil),
+			Algorithm: core.CommonCoin,
+			Seed:      int64(i) * 31,
+			MaxRounds: 10_000,
+		}
+	}
+	return cfgs
+}
+
+// A sweep's results are in input order and independent of the pool size:
+// sequential and maximally parallel execution must agree exactly (virtual
+// runs are deterministic, so even Elapsed matches).
+func TestSweepParallelismIndependent(t *testing.T) {
+	t.Parallel()
+	const k = 40
+	seq, err := Sweep(sweepConfigs(k), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(sweepConfigs(k), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != k || len(par) != k {
+		t.Fatalf("lengths = %d, %d, want %d", len(seq), len(par), k)
+	}
+	for i := range seq {
+		if !reflect.DeepEqual(seq[i], par[i]) {
+			t.Fatalf("trial %d diverged across pool sizes:\n  seq: %+v\n  par: %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+// The first invalid configuration aborts the sweep with an error.
+func TestSweepPropagatesErrors(t *testing.T) {
+	t.Parallel()
+	cfgs := sweepConfigs(5)
+	cfgs[3].Proposals = nil // invalid: wrong proposal count
+	if _, err := Sweep(cfgs, 4); !errors.Is(err, core.ErrBadConfig) {
+		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+// forEachParallel visits every index exactly once, whatever the pool size.
+func TestForEachParallelCoverage(t *testing.T) {
+	t.Parallel()
+	for _, workers := range []int{0, 1, 3, 64} {
+		const n = 100
+		var hits [n]int32
+		err := forEachParallel(workers, n, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}

@@ -1,0 +1,110 @@
+package mailbox
+
+import "allforone/internal/vclock"
+
+// Virtual is the discrete-event counterpart of Mailbox: an unbounded FIFO
+// inbox whose single consumer is a vclock coroutine. Instead of blocking a
+// goroutine on a channel, an empty Get parks the bound coroutine and a Put
+// (typically fired from a scheduled delivery event) wakes it — so "waiting
+// for a message" consumes zero wall-clock time and the interleaving is
+// fully owned by the scheduler.
+//
+// Virtual needs no lock: all accesses happen under the scheduler's single
+// execution token. The unboundedness requirement of Mailbox carries over —
+// producers never block, preserving the model's asynchronous reliable
+// channels.
+type Virtual[T any] struct {
+	queue  []T
+	head   int // consumed prefix of queue; compacted on Put/TryGet
+	waiter *vclock.Proc
+	closed bool
+}
+
+// NewVirtual returns an open, empty virtual inbox. Bind must be called
+// before the first Get.
+func NewVirtual[T any]() *Virtual[T] { return &Virtual[T]{} }
+
+// Bind attaches the consumer coroutine that Get parks and Put wakes.
+func (v *Virtual[T]) Bind(p *vclock.Proc) { v.waiter = p }
+
+// Put appends item and wakes the consumer if it is parked. Put on a closed
+// inbox is a silent no-op, matching Mailbox (a message to a finished
+// process is never consumed). It reports whether the item was enqueued.
+func (v *Virtual[T]) Put(item T) bool {
+	if v.closed {
+		return false
+	}
+	v.compact()
+	v.queue = append(v.queue, item)
+	if v.waiter != nil {
+		v.waiter.Wake()
+	}
+	return true
+}
+
+// Get removes and returns the oldest item, parking the bound coroutine
+// while the inbox is empty. It returns false when the inbox is closed and
+// drained, or when the scheduler aborted the run (Park returned false).
+// Get must only be called from the bound coroutine.
+func (v *Virtual[T]) Get() (T, bool) {
+	var zero T
+	for {
+		if item, ok := v.TryGet(); ok {
+			return item, true
+		}
+		if v.closed {
+			return zero, false
+		}
+		if v.waiter == nil {
+			panic("mailbox: Get on an unbound Virtual inbox")
+		}
+		if !v.waiter.Park() {
+			return zero, false
+		}
+	}
+}
+
+// TryGet removes and returns the oldest item without parking.
+func (v *Virtual[T]) TryGet() (T, bool) {
+	var zero T
+	if v.head >= len(v.queue) {
+		return zero, false
+	}
+	item := v.queue[v.head]
+	v.queue[v.head] = zero
+	v.head++
+	if v.head == len(v.queue) {
+		v.queue = v.queue[:0]
+		v.head = 0
+	}
+	return item, true
+}
+
+// compact reclaims the consumed prefix when it dominates the backing array.
+func (v *Virtual[T]) compact() {
+	if v.head > 32 && v.head*2 >= len(v.queue) {
+		n := copy(v.queue, v.queue[v.head:])
+		clear(v.queue[n:])
+		v.queue = v.queue[:n]
+		v.head = 0
+	}
+}
+
+// Len returns the number of queued items.
+func (v *Virtual[T]) Len() int { return len(v.queue) - v.head }
+
+// Close closes the inbox: future Puts are dropped, Gets drain the remaining
+// items then report false. The consumer is woken so it can observe the
+// close. Close is idempotent.
+func (v *Virtual[T]) Close() {
+	if v.closed {
+		return
+	}
+	v.closed = true
+	if v.waiter != nil {
+		v.waiter.Wake()
+	}
+}
+
+// Closed reports whether Close has been called.
+func (v *Virtual[T]) Closed() bool { return v.closed }

@@ -8,6 +8,15 @@
 // sender crashes while executing it, an arbitrary subset of processes
 // receives the message. BroadcastSubset exposes exactly that failure
 // semantics to the failure injector.
+//
+// The network runs in one of two modes:
+//
+//   - realtime (default): one goroutine per delayed delivery, blocking
+//     channel receives — asynchrony comes from the Go scheduler and
+//     wall-clock sleeps;
+//   - virtual time (WithScheduler): transit is a timestamped delivery event
+//     on a discrete-event scheduler and receivers park their coroutine —
+//     no wall-clock time ever passes and executions are deterministic.
 package netsim
 
 import (
@@ -20,6 +29,7 @@ import (
 	"allforone/internal/mailbox"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
+	"allforone/internal/vclock"
 )
 
 // Message is a point-to-point message in flight.
@@ -38,6 +48,7 @@ type options struct {
 	seed     uint64
 	delayFn  DelayFn
 	counters *metrics.Counters
+	sched    *vclock.Scheduler
 }
 
 // Option customizes a Network.
@@ -78,13 +89,27 @@ func WithCounters(c *metrics.Counters) Option {
 	return func(o *options) { o.counters = c }
 }
 
+// WithScheduler switches the network to virtual-time mode on the given
+// discrete-event scheduler: message transit becomes a scheduled delivery
+// event at a virtual timestamp (now + delay) instead of a sleeping
+// goroutine, and Receive parks the consumer's coroutine instead of blocking
+// a thread. In this mode each consumer coroutine must be attached with Bind
+// before its first Receive, and all network calls must come from
+// scheduler-controlled code (coroutines or event callbacks).
+func WithScheduler(s *vclock.Scheduler) Option {
+	return func(o *options) { o.sched = s }
+}
+
 // Network is the simulated fully connected reliable asynchronous network
-// for n processes. All methods are safe for concurrent use.
+// for n processes. In realtime mode (the default) all methods are safe for
+// concurrent use; in virtual-time mode (WithScheduler) the scheduler's
+// single execution token serializes every call.
 type Network struct {
 	n      int
-	boxes  []*mailbox.Mailbox[Message]
+	boxes  []*mailbox.Mailbox[Message] // realtime mode
+	vboxes []*mailbox.Virtual[Message] // virtual mode
 	opts   options
-	wg     sync.WaitGroup // in-flight delayed deliveries
+	wg     sync.WaitGroup // in-flight delayed deliveries (realtime mode)
 	rngMu  sync.Mutex
 	rng    *rand.Rand
 	closed atomic.Bool
@@ -100,15 +125,30 @@ func New(n int, opts ...Option) (*Network, error) {
 		opt(&o)
 	}
 	nw := &Network{
-		n:     n,
-		boxes: make([]*mailbox.Mailbox[Message], n),
-		opts:  o,
-		rng:   rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
+		n:    n,
+		opts: o,
+		rng:  rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
 	}
+	if o.sched != nil {
+		nw.vboxes = make([]*mailbox.Virtual[Message], n)
+		for i := range nw.vboxes {
+			nw.vboxes[i] = mailbox.NewVirtual[Message]()
+		}
+		return nw, nil
+	}
+	nw.boxes = make([]*mailbox.Mailbox[Message], n)
 	for i := range nw.boxes {
 		nw.boxes[i] = mailbox.New[Message]()
 	}
 	return nw, nil
+}
+
+// Bind attaches the coroutine that consumes process p's inbox (virtual-time
+// mode only; a no-op in realtime mode).
+func (nw *Network) Bind(p model.ProcID, proc *vclock.Proc) {
+	if nw.vboxes != nil {
+		nw.vboxes[p].Bind(proc)
+	}
 }
 
 // N returns the number of connected processes.
@@ -126,13 +166,21 @@ func (nw *Network) Send(from, to model.ProcID, payload any) {
 		nw.opts.counters.AddMsgsSent(1)
 	}
 	m := Message{From: from, To: to, Payload: payload}
-	if nw.opts.delayFn == nil || nw.closed.Load() {
-		nw.boxes[to].Put(m)
+	var d time.Duration
+	if nw.opts.delayFn != nil && !nw.closed.Load() {
+		nw.rngMu.Lock()
+		d = nw.opts.delayFn(nw.rng, m)
+		nw.rngMu.Unlock()
+	}
+	if nw.vboxes != nil {
+		// Virtual mode: transit is a delivery event d nanoseconds of virtual
+		// time from now. Zero-delay messages still travel through the event
+		// queue, so delivery order is the deterministic (time, seq) order and
+		// every receive is a scheduling point.
+		box := nw.vboxes[to]
+		nw.opts.sched.After(vclock.Time(d), func() { box.Put(m) })
 		return
 	}
-	nw.rngMu.Lock()
-	d := nw.opts.delayFn(nw.rng, m)
-	nw.rngMu.Unlock()
 	if d <= 0 {
 		nw.boxes[to].Put(m)
 		return
@@ -169,9 +217,18 @@ func (nw *Network) BroadcastSubset(from model.ProcID, payload any, recipients []
 }
 
 // Receive blocks until a message for process p arrives, p's inbox closes,
-// or done closes. The boolean reports whether a message was returned.
+// or done closes. The boolean reports whether a message was returned. In
+// virtual mode "blocking" parks p's coroutine (done is not consulted: the
+// scheduler's abort plays that role) and a false return also covers an
+// aborted run.
 func (nw *Network) Receive(p model.ProcID, done <-chan struct{}) (Message, bool) {
-	m, ok := nw.boxes[p].Get(done)
+	var m Message
+	var ok bool
+	if nw.vboxes != nil {
+		m, ok = nw.vboxes[p].Get()
+	} else {
+		m, ok = nw.boxes[p].Get(done)
+	}
 	if ok && nw.opts.counters != nil {
 		nw.opts.counters.AddMsgsDelivered(1)
 	}
@@ -180,7 +237,13 @@ func (nw *Network) Receive(p model.ProcID, done <-chan struct{}) (Message, bool)
 
 // TryReceive returns a pending message for p without blocking.
 func (nw *Network) TryReceive(p model.ProcID) (Message, bool) {
-	m, ok := nw.boxes[p].TryGet()
+	var m Message
+	var ok bool
+	if nw.vboxes != nil {
+		m, ok = nw.vboxes[p].TryGet()
+	} else {
+		m, ok = nw.boxes[p].TryGet()
+	}
 	if ok && nw.opts.counters != nil {
 		nw.opts.counters.AddMsgsDelivered(1)
 	}
@@ -189,16 +252,33 @@ func (nw *Network) TryReceive(p model.ProcID) (Message, bool) {
 
 // Pending returns the number of undelivered messages queued for p
 // (in-flight delayed messages are not counted).
-func (nw *Network) Pending(p model.ProcID) int { return nw.boxes[p].Len() }
+func (nw *Network) Pending(p model.ProcID) int {
+	if nw.vboxes != nil {
+		return nw.vboxes[p].Len()
+	}
+	return nw.boxes[p].Len()
+}
 
 // CloseInbox marks process p as terminated: its queued messages remain
 // drainable but new messages to it are dropped.
-func (nw *Network) CloseInbox(p model.ProcID) { nw.boxes[p].Close() }
+func (nw *Network) CloseInbox(p model.ProcID) {
+	if nw.vboxes != nil {
+		nw.vboxes[p].Close()
+		return
+	}
+	nw.boxes[p].Close()
+}
 
 // Shutdown closes every inbox and waits for in-flight delayed deliveries to
 // settle. The network must not be used after Shutdown.
 func (nw *Network) Shutdown() {
 	nw.closed.Store(true)
+	if nw.vboxes != nil {
+		for _, b := range nw.vboxes {
+			b.Close()
+		}
+		return
+	}
 	for _, b := range nw.boxes {
 		b.Close()
 	}

@@ -1,0 +1,114 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+
+	"allforone/internal/vclock"
+)
+
+// In virtual mode, zero-delay messages are delivered in deterministic send
+// order and Receive parks the consumer coroutine instead of blocking.
+func TestVirtualSendReceiveOrder(t *testing.T) {
+	s := vclock.New()
+	nw, err := New(2, WithScheduler(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	consumer := s.Spawn("p1", func() {
+		for i := 0; i < 3; i++ {
+			m, ok := nw.Receive(1, nil)
+			if !ok {
+				t.Error("receive failed")
+				return
+			}
+			got = append(got, m.Payload.(int))
+		}
+	})
+	nw.Bind(1, consumer)
+	s.Spawn("p0", func() {
+		nw.Send(0, 1, 100)
+		nw.Send(0, 1, 200)
+		nw.Send(0, 1, 300)
+	})
+	if out := s.Run(); out.Aborted() {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if len(got) != 3 || got[0] != 100 || got[1] != 200 || got[2] != 300 {
+		t.Fatalf("got = %v, want [100 200 300]", got)
+	}
+}
+
+// Delays advance the virtual clock — not the wall clock — and reorder
+// deliveries by virtual timestamp.
+func TestVirtualDelaysUseVirtualTime(t *testing.T) {
+	s := vclock.New()
+	// A per-message delay schedule: first send slow, second fast.
+	delays := []time.Duration{5 * time.Millisecond, 1 * time.Millisecond}
+	i := 0
+	nw, err := New(2, WithScheduler(s), WithDelayFn(func(_ *rand.Rand, _ Message) time.Duration {
+		d := delays[i%len(delays)]
+		i++
+		return d
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int
+	var at []vclock.Time
+	consumer := s.Spawn("p1", func() {
+		for len(got) < 2 {
+			m, ok := nw.Receive(1, nil)
+			if !ok {
+				t.Error("receive failed")
+				return
+			}
+			got = append(got, m.Payload.(int))
+			at = append(at, s.Now())
+		}
+	})
+	nw.Bind(1, consumer)
+	s.Spawn("p0", func() {
+		nw.Send(0, 1, 1) // 5ms transit
+		nw.Send(0, 1, 2) // 1ms transit — overtakes
+	})
+	start := time.Now()
+	if out := s.Run(); out.Aborted() {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if wall := time.Since(start); wall > time.Second {
+		t.Errorf("virtual run took %v of wall clock", wall)
+	}
+	if len(got) != 2 || got[0] != 2 || got[1] != 1 {
+		t.Fatalf("delivery order = %v, want [2 1] (fast message overtakes)", got)
+	}
+	if at[0] != vclock.Time(time.Millisecond) || at[1] != vclock.Time(5*time.Millisecond) {
+		t.Fatalf("delivery instants = %v, want [1ms 5ms]", at)
+	}
+}
+
+// CloseInbox in virtual mode drops subsequent sends and lets the consumer
+// observe the close.
+func TestVirtualCloseInbox(t *testing.T) {
+	s := vclock.New()
+	nw, err := New(2, WithScheduler(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok := true
+	consumer := s.Spawn("p1", func() { _, ok = nw.Receive(1, nil) })
+	nw.Bind(1, consumer)
+	s.At(1, func() { nw.CloseInbox(1) })
+	s.At(2, func() { nw.Send(0, 1, 99) })
+	if out := s.Run(); out.Aborted() {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if ok {
+		t.Fatal("Receive on closed inbox reported a message")
+	}
+	if nw.Pending(1) != 0 {
+		t.Fatalf("Pending = %d, want 0", nw.Pending(1))
+	}
+}

@@ -8,11 +8,61 @@ package sim
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"allforone/internal/metrics"
 	"allforone/internal/model"
 )
+
+// Engine selects the execution engine that drives a simulated run. It
+// lives here, next to Result, because every runner (the hybrid algorithms
+// and the message-passing baselines) offers the same choice.
+type Engine int
+
+const (
+	// EngineVirtual (the default) runs the execution on a deterministic
+	// discrete-event scheduler: message transit advances a virtual clock,
+	// processes are cooperatively stepped coroutines, and no wall-clock
+	// time ever passes. Same config (including seed) → same Result and the
+	// same trace, bit for bit. Blocked runs are detected by quiescence
+	// (nothing runnable, no pending events), not by elapsed real time.
+	EngineVirtual Engine = iota
+	// EngineRealtime is the goroutine-per-process backend: message delays
+	// sleep real time, asynchrony additionally arises from the Go
+	// scheduler, and stuck runs are aborted by a wall-clock timeout.
+	// Interleavings are NOT reproducible across runs. Kept for
+	// differential testing against the virtual engine.
+	EngineRealtime
+)
+
+// String names the engine.
+func (e Engine) String() string {
+	switch e {
+	case EngineVirtual:
+		return "virtual"
+	case EngineRealtime:
+		return "realtime"
+	}
+	return fmt.Sprintf("Engine(%d)", int(e))
+}
+
+// ParseEngine resolves an engine name (as accepted by the CLIs): virtual,
+// v, or des; realtime, real, or rt.
+func ParseEngine(name string) (Engine, error) {
+	switch strings.ToLower(name) {
+	case "virtual", "v", "des":
+		return EngineVirtual, nil
+	case "realtime", "real", "rt":
+		return EngineRealtime, nil
+	}
+	return 0, fmt.Errorf("unknown engine %q (want virtual or realtime)", name)
+}
+
+// DefaultMaxSteps bounds virtual-engine runs that never converge: a run
+// processing this many discrete events without terminating is aborted
+// deterministically (undecided processes end as StatusBlocked).
+const DefaultMaxSteps = 8 << 20
 
 // Status classifies how a process's propose() invocation ended.
 type Status int8
@@ -65,8 +115,21 @@ type Result struct {
 	// in the m&m model; nil for pure message-passing baselines).
 	ConsInvocations []int64
 	ConsAllocations []int64
-	// Elapsed is the wall-clock duration of the run.
+	// Elapsed is the duration of the run: wall-clock under the realtime
+	// engine; virtual-clock under the virtual engine (equal to VirtualTime),
+	// so that a virtual Result is bit-reproducible from its Config.
 	Elapsed time.Duration
+	// VirtualTime is the virtual-clock duration of the run. Zero under the
+	// realtime engine.
+	VirtualTime time.Duration
+	// Steps is the number of discrete events the virtual engine processed.
+	// Zero under the realtime engine.
+	Steps int64
+	// Quiesced reports that the virtual engine aborted the run because the
+	// execution could never take another step (undecided processes waiting
+	// with no pending events) — the deterministic "blocked forever"
+	// verdict, e.g. when the liveness condition does not hold.
+	Quiesced bool
 }
 
 // Decided returns the processes that decided and their (necessarily equal)

@@ -1,0 +1,342 @@
+// Package vclock implements a deterministic discrete-event scheduler — the
+// virtual-time execution engine underneath the simulated network and the
+// consensus runtimes.
+//
+// The scheduler owns a priority queue of timestamped events (ties broken by
+// schedule order) and a set of cooperatively stepped process coroutines.
+// Exactly one piece of code runs at any instant: either the scheduler's
+// event loop or a single process coroutine, with control handed off through
+// unbuffered channel rendezvous. Because every interleaving decision is
+// taken by the event queue — never by the Go runtime — a run is a pure
+// function of its inputs: same configuration, same event order, same
+// result, bit for bit.
+//
+// Virtual time is measured in nanoseconds (Time is directly convertible
+// from time.Duration) but no real time ever passes: delivering a message
+// "4ms later" costs one heap operation. Runs therefore execute as fast as
+// the hardware allows, and a run that would sit in timeouts under a
+// wall-clock engine instead terminates the moment the event queue goes
+// quiescent.
+//
+// Termination of Run is classified by Outcome:
+//   - all coroutines finished → a normal run;
+//   - quiescence (live coroutines, but nothing runnable and no pending
+//     events) → the execution is stuck forever, e.g. a consensus liveness
+//     condition does not hold;
+//   - the virtual deadline or the event budget was exceeded.
+//
+// On abort the scheduler resumes every parked coroutine with Park() = false
+// so it can record a "blocked" outcome and unwind; Run returns only after
+// every coroutine has finished.
+package vclock
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Time is a virtual instant, in nanoseconds since the start of the run.
+// It converts directly to and from time.Duration.
+type Time int64
+
+// event is one scheduled callback.
+type event struct {
+	at  Time
+	seq uint64 // schedule order; the deterministic tie-breaker
+	fn  func()
+}
+
+// eventHeap is a min-heap of events ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)         { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Coroutine states.
+const (
+	stateRunnable = iota // queued to run
+	stateRunning         // currently holding the execution token
+	stateParked          // suspended in Park, waiting for Wake
+	stateDone            // fn returned
+)
+
+// Proc is a cooperatively scheduled coroutine. All its methods must be
+// called from scheduler-controlled code: either from within a coroutine
+// (Park) or from event callbacks and other coroutines (Wake). The
+// single-token handoff makes every such call data-race free without locks.
+type Proc struct {
+	s      *Scheduler
+	name   string
+	state  int
+	resume chan bool // scheduler → proc; false = run aborted
+}
+
+// Name returns the coroutine's diagnostic name.
+func (p *Proc) Name() string { return p.name }
+
+// Park suspends the calling coroutine until another party calls Wake (then
+// Park returns true) or the scheduler aborts the run (then false: the
+// coroutine must unwind promptly and not Park again). Calling Park from
+// outside the coroutine's own fn is a protocol violation.
+func (p *Proc) Park() bool {
+	s := p.s
+	if s.aborted {
+		return false
+	}
+	p.state = stateParked
+	s.yield <- struct{}{}
+	return <-p.resume
+}
+
+// Wake makes a parked coroutine runnable again; it will resume, in FIFO
+// wake order, before any further event is processed. Waking a coroutine
+// that is not parked is a no-op (the wakeup is not lost: a consumer must
+// re-check its condition before parking, and only parks while holding the
+// execution token).
+func (p *Proc) Wake() {
+	if p.state == stateParked {
+		p.state = stateRunnable
+		p.s.pushRunnable(p)
+	}
+}
+
+// Done reports whether the coroutine's fn has returned.
+func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Outcome reports how a Run ended.
+type Outcome struct {
+	// Now is the virtual clock at the end of the run.
+	Now Time
+	// Steps is the number of events processed.
+	Steps int64
+	// Quiesced is set when live coroutines remained but no event could ever
+	// wake them — the virtual-time formulation of "blocked forever".
+	Quiesced bool
+	// DeadlineExceeded is set when the next event lay beyond the deadline.
+	DeadlineExceeded bool
+	// StepsExceeded is set when the event budget ran out.
+	StepsExceeded bool
+}
+
+// Aborted reports whether the run was cut short for any reason.
+func (o Outcome) Aborted() bool { return o.Quiesced || o.DeadlineExceeded || o.StepsExceeded }
+
+// Scheduler is the discrete-event engine. It is NOT safe for concurrent
+// use from arbitrary goroutines: Spawn/At/After/Run must be called from the
+// goroutine that calls Run, from event callbacks, or from coroutines — all
+// of which are serialized by the execution token.
+type Scheduler struct {
+	now  Time
+	heap eventHeap
+	seq  uint64
+
+	procs    []*Proc
+	spawned  int
+	live     int
+	runnable []*Proc // FIFO; head index below avoids reallocating on pop
+	runHead  int
+
+	yield chan struct{} // proc → scheduler: "I parked or finished"
+
+	deadline Time  // 0 = none
+	maxSteps int64 // 0 = none
+	steps    int64
+
+	aborted bool
+	outcome Outcome
+}
+
+// Option customizes a Scheduler.
+type Option func(*Scheduler)
+
+// WithDeadline aborts the run before processing any event scheduled past
+// virtual instant d. Zero means no deadline.
+func WithDeadline(d Time) Option {
+	return func(s *Scheduler) { s.deadline = d }
+}
+
+// WithMaxSteps aborts the run after processing n events — the deterministic
+// guard against executions that never converge. Zero means no budget.
+func WithMaxSteps(n int64) Option {
+	return func(s *Scheduler) { s.maxSteps = n }
+}
+
+// New returns an empty scheduler at virtual time zero.
+func New(opts ...Option) *Scheduler {
+	s := &Scheduler{yield: make(chan struct{})}
+	for _, o := range opts {
+		o(s)
+	}
+	return s
+}
+
+// Now returns the current virtual time.
+func (s *Scheduler) Now() Time { return s.now }
+
+// Aborted reports whether the run has been aborted (quiescence, deadline,
+// or event budget). Coroutines can poll it at convenient checkpoints.
+func (s *Scheduler) Aborted() bool { return s.aborted }
+
+// At schedules fn to run at virtual instant t (clamped to now: virtual time
+// never flows backwards). Events at the same instant run in schedule order.
+func (s *Scheduler) At(t Time, fn func()) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+}
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+// Negative d is treated as zero.
+func (s *Scheduler) After(d Time, fn func()) {
+	if d < 0 {
+		d = 0
+	}
+	s.At(s.now+d, fn)
+}
+
+// Spawn registers fn as a new coroutine. It starts runnable and takes its
+// first step when Run reaches it (spawn order for coroutines spawned before
+// Run). Spawning from a running coroutine or an event callback is allowed.
+func (s *Scheduler) Spawn(name string, fn func()) *Proc {
+	p := &Proc{s: s, name: name, resume: make(chan bool)}
+	p.state = stateRunnable
+	s.procs = append(s.procs, p)
+	s.spawned++
+	s.live++
+	s.pushRunnable(p)
+	go func() {
+		if ok := <-p.resume; ok {
+			fn()
+		}
+		p.state = stateDone
+		s.live--
+		s.yield <- struct{}{}
+	}()
+	return p
+}
+
+// pushRunnable appends p to the FIFO run queue.
+func (s *Scheduler) pushRunnable(p *Proc) {
+	// Compact the consumed head when it dominates the backing array.
+	if s.runHead > 64 && s.runHead*2 >= len(s.runnable) {
+		n := copy(s.runnable, s.runnable[s.runHead:])
+		s.runnable = s.runnable[:n]
+		s.runHead = 0
+	}
+	s.runnable = append(s.runnable, p)
+}
+
+// popRunnable removes and returns the next runnable coroutine, or nil.
+func (s *Scheduler) popRunnable() *Proc {
+	for s.runHead < len(s.runnable) {
+		p := s.runnable[s.runHead]
+		s.runnable[s.runHead] = nil
+		s.runHead++
+		if p.state == stateRunnable {
+			return p
+		}
+		// Stale entry (the proc ran and finished meanwhile); skip.
+	}
+	s.runnable = s.runnable[:0]
+	s.runHead = 0
+	return nil
+}
+
+// abort marks the run aborted and makes every parked coroutine runnable so
+// it can observe Park() = false and unwind.
+func (s *Scheduler) abort() {
+	if s.aborted {
+		return
+	}
+	s.aborted = true
+	for _, p := range s.procs {
+		if p.state == stateParked {
+			p.state = stateRunnable
+			s.pushRunnable(p)
+		}
+	}
+}
+
+// step hands the execution token to p and blocks until p parks or finishes.
+func (s *Scheduler) step(p *Proc) {
+	p.state = stateRunning
+	p.resume <- !s.aborted
+	<-s.yield
+}
+
+// Run drives the event loop to completion: coroutines run (in FIFO wake
+// order) until all are parked, then the earliest pending event fires,
+// advancing the virtual clock; repeat. Run returns once every coroutine has
+// finished — normally, or after an abort (quiescence, deadline, or event
+// budget) unwound them.
+//
+// Run must be called exactly once per Scheduler.
+func (s *Scheduler) Run() Outcome {
+	for {
+		if p := s.popRunnable(); p != nil {
+			s.step(p)
+			continue
+		}
+		if s.spawned > 0 && s.live == 0 {
+			// Every coroutine has finished: the run is over at the instant
+			// of its last step. Leftover events (in-flight deliveries to
+			// closed inboxes, crash instants that never struck) must not
+			// advance the clock — they could inflate the run's reported
+			// duration arbitrarily. Pure-event schedulers (no coroutines)
+			// still drain the heap completely.
+			s.outcome.Now = s.now
+			s.outcome.Steps = s.steps
+			return s.outcome
+		}
+		if !s.aborted && len(s.heap) > 0 {
+			if s.deadline > 0 && s.heap[0].at > s.deadline {
+				s.outcome.DeadlineExceeded = true
+				s.abort()
+				continue
+			}
+			if s.maxSteps > 0 && s.steps >= s.maxSteps {
+				s.outcome.StepsExceeded = true
+				s.abort()
+				continue
+			}
+			ev := heap.Pop(&s.heap).(event)
+			s.steps++
+			if ev.at > s.now {
+				s.now = ev.at
+			}
+			ev.fn()
+			continue
+		}
+		if s.live > 0 {
+			if !s.aborted {
+				s.outcome.Quiesced = true
+				s.abort()
+				continue
+			}
+			// Aborted with live coroutines but none runnable: a coroutine
+			// ignored Park() = false and parked again — a protocol bug in
+			// the caller. Waking it once more would loop forever.
+			panic(fmt.Sprintf("vclock: %d coroutine(s) parked after abort", s.live))
+		}
+		s.outcome.Now = s.now
+		s.outcome.Steps = s.steps
+		return s.outcome
+	}
+}

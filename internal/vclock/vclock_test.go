@@ -1,0 +1,234 @@
+package vclock
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Events fire in timestamp order, with schedule order breaking ties.
+func TestEventOrdering(t *testing.T) {
+	s := New()
+	var got []int
+	s.At(30, func() { got = append(got, 3) })
+	s.At(10, func() { got = append(got, 1) })
+	s.At(20, func() { got = append(got, 2) })
+	s.At(10, func() { got = append(got, 4) }) // same instant as "1": later seq
+	out := s.Run()
+	want := []int{1, 4, 2, 3}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("event order = %v, want %v", got, want)
+	}
+	if out.Now != 30 || out.Steps != 4 || out.Aborted() {
+		t.Fatalf("outcome = %+v", out)
+	}
+}
+
+// The virtual clock never flows backwards: an event scheduled in the past
+// fires at the current instant.
+func TestPastEventClampsToNow(t *testing.T) {
+	s := New()
+	var at Time
+	s.At(100, func() {
+		s.At(50, func() { at = s.Now() }) // "50" is already in the past
+	})
+	s.Run()
+	if at != 100 {
+		t.Fatalf("past event ran at %d, want 100", at)
+	}
+}
+
+// A coroutine parks until woken by an event, observes the advanced clock,
+// and finishes; Run reports a clean outcome.
+func TestParkWake(t *testing.T) {
+	s := New()
+	var woke Time
+	var p *Proc
+	p = s.Spawn("consumer", func() {
+		if !p.Park() {
+			t.Error("Park reported abort")
+			return
+		}
+		woke = s.Now()
+	})
+	s.At(42, func() { p.Wake() })
+	out := s.Run()
+	if woke != 42 {
+		t.Fatalf("woke at %d, want 42", woke)
+	}
+	if out.Aborted() {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if !p.Done() {
+		t.Fatal("coroutine not done after Run")
+	}
+}
+
+// Coroutines resume in FIFO wake order, giving deterministic interleaving.
+func TestWakeOrderFIFO(t *testing.T) {
+	s := New()
+	var got []string
+	names := []string{"a", "b", "c"}
+	procs := make([]*Proc, len(names))
+	for i, name := range names {
+		i, name := i, name
+		procs[i] = s.Spawn(name, func() {
+			if procs[i].Park() {
+				got = append(got, name)
+			}
+		})
+	}
+	s.At(1, func() {
+		procs[2].Wake()
+		procs[0].Wake()
+		procs[1].Wake()
+	})
+	s.Run()
+	want := []string{"c", "a", "b"}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("wake order = %v, want %v", got, want)
+	}
+}
+
+// Quiescence: live coroutines with an empty event queue abort the run, and
+// every parked coroutine observes Park() = false.
+func TestQuiescenceAborts(t *testing.T) {
+	s := New()
+	unwound := 0
+	for i := 0; i < 3; i++ {
+		var p *Proc
+		p = s.Spawn("stuck", func() {
+			if !p.Park() {
+				unwound++
+			}
+		})
+	}
+	out := s.Run()
+	if !out.Quiesced {
+		t.Fatalf("outcome = %+v, want Quiesced", out)
+	}
+	if unwound != 3 {
+		t.Fatalf("unwound = %d, want 3", unwound)
+	}
+}
+
+// The deadline aborts before processing events scheduled past it.
+func TestDeadline(t *testing.T) {
+	s := New(WithDeadline(100))
+	ran := false
+	late := false
+	s.At(50, func() { ran = true })
+	s.At(150, func() { late = true })
+	out := s.Run()
+	if !ran || late {
+		t.Fatalf("ran=%v late=%v, want true/false", ran, late)
+	}
+	if !out.DeadlineExceeded {
+		t.Fatalf("outcome = %+v, want DeadlineExceeded", out)
+	}
+	if out.Now != 50 {
+		t.Fatalf("Now = %d, want 50", out.Now)
+	}
+}
+
+// The step budget bounds runs that schedule events forever.
+func TestMaxSteps(t *testing.T) {
+	s := New(WithMaxSteps(10))
+	var reschedule func()
+	fired := 0
+	reschedule = func() {
+		fired++
+		s.After(1, reschedule)
+	}
+	s.After(1, reschedule)
+	out := s.Run()
+	if !out.StepsExceeded {
+		t.Fatalf("outcome = %+v, want StepsExceeded", out)
+	}
+	if fired != 10 {
+		t.Fatalf("fired = %d, want 10", fired)
+	}
+}
+
+// Two identical schedules produce identical histories — the determinism
+// contract everything else is built on.
+func TestDeterminism(t *testing.T) {
+	trace := func() []Time {
+		s := New()
+		var log []Time
+		var producer, consumer *Proc
+		consumer = s.Spawn("consumer", func() {
+			for i := 0; i < 5; i++ {
+				if !consumer.Park() {
+					return
+				}
+				log = append(log, s.Now())
+			}
+		})
+		producer = s.Spawn("producer", func() {
+			for i := 1; i <= 5; i++ {
+				d := Time(i * 7)
+				s.After(d, func() { consumer.Wake() })
+			}
+		})
+		_ = producer
+		s.Run()
+		return log
+	}
+	a, b := trace(), trace()
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("runs diverged: %v vs %v", a, b)
+	}
+	if len(a) != 5 {
+		t.Fatalf("log = %v, want 5 wakeups", a)
+	}
+}
+
+// Waking a coroutine that is not parked is a harmless no-op, and the
+// wake-then-recheck protocol never loses a wakeup.
+func TestWakeNotParkedIsNoop(t *testing.T) {
+	s := New()
+	items := 0
+	var p *Proc
+	p = s.Spawn("consumer", func() {
+		for items < 2 {
+			if !p.Park() {
+				return
+			}
+		}
+	})
+	s.At(1, func() { items += 2; p.Wake(); p.Wake() }) // second Wake hits a runnable proc
+	out := s.Run()
+	if out.Aborted() {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if items != 2 {
+		t.Fatalf("items = %d, want 2", items)
+	}
+}
+
+// Once every spawned coroutine has finished, the run ends at the instant of
+// the last step: leftover events are dropped, not drained — they must not
+// advance the reported clock. (Schedulers with no coroutines still drain
+// the heap completely, as TestEventOrdering shows.)
+func TestRunEndsWhenLastCoroutineFinishes(t *testing.T) {
+	s := New()
+	var p *Proc
+	p = s.Spawn("worker", func() {
+		if !p.Park() {
+			t.Error("unexpected abort")
+		}
+	})
+	s.At(5, func() { p.Wake() })
+	fired := false
+	s.At(1_000_000, func() { fired = true }) // stale: nobody is left to care
+	out := s.Run()
+	if fired {
+		t.Error("stale event fired after the last coroutine finished")
+	}
+	if out.Now != 5 {
+		t.Errorf("Now = %d, want 5 (the last step's instant)", out.Now)
+	}
+	if out.Aborted() {
+		t.Errorf("outcome = %+v, want clean", out)
+	}
+}
