@@ -244,10 +244,32 @@ var (
 )
 
 // NewRegister deploys an atomic multi-writer multi-reader register over
-// the given partition.
+// the given partition (the interactive realtime surface; for
+// deterministic closed runs use RunRegister).
 func NewRegister(part *Partition, opts RegisterOptions) (*RegisterSystem, error) {
 	return register.New(part, opts)
 }
+
+// Scripted register runs: each process executes a sequence of read/write
+// operations on the unified engine driver — deterministic under the
+// default virtual engine, blocked operations detected by quiescence.
+type (
+	// RegisterRunConfig configures a scripted register execution.
+	RegisterRunConfig = register.Config
+	// RegisterOp is one scripted operation (see RegisterWriteOp/ReadOp).
+	RegisterOp = register.Op
+	// RegisterRunResult aggregates a scripted run.
+	RegisterRunResult = register.Result
+)
+
+// Scripted register operation constructors.
+var (
+	RegisterWriteOp = register.WriteOp
+	RegisterReadOp  = register.ReadOp
+)
+
+// RunRegister executes one scripted register run.
+func RunRegister(cfg RegisterRunConfig) (*RegisterRunResult, error) { return register.Run(cfg) }
 
 // Replicated log / state machine replication (extension): a sequence of
 // log slots, each decided by hybrid multivalued consensus.

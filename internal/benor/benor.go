@@ -13,16 +13,15 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sync"
 	"time"
 
 	"allforone/internal/coin"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
 	"allforone/internal/netsim"
 	"allforone/internal/sim"
-	"allforone/internal/vclock"
 )
 
 // Config describes one Ben-Or execution.
@@ -49,6 +48,12 @@ type Config struct {
 	// DefaultTimeout. The virtual engine detects blocked runs by
 	// quiescence instead and ignores this field.
 	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run;
+	// zero means unbounded (quiescence and MaxSteps still apply).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of discrete events of an EngineVirtual
+	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
+	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
 	// LocalCoinOverride, when non-nil, supplies each process's coin.
@@ -56,7 +61,7 @@ type Config struct {
 }
 
 // DefaultTimeout bounds runs whose liveness condition may not hold.
-const DefaultTimeout = 30 * time.Second
+const DefaultTimeout = driver.DefaultTimeout
 
 // ErrBadConfig reports an invalid configuration.
 var ErrBadConfig = errors.New("benor: invalid configuration")
@@ -125,17 +130,15 @@ type proc struct {
 	local     coin.Local
 	sched     *failures.Schedule
 	ctr       *metrics.Counters
-	done      <-chan struct{}   // realtime engine: runner's abort signal
-	clock     *vclock.Scheduler // virtual engine: abort is scheduler state
-	killed    *bool             // virtual engine: a timed crash has struck
+	h         *driver.Handle // the engine's abort/kill state
 	rng       *rand.Rand
 	maxRounds int
 	pending   map[phaseKey][]model.Value
 }
 
-// killedNow reports whether a timed (virtual-instant) crash has struck this
-// process; it halts at the next step point that observes it.
-func (p *proc) killedNow() bool { return p.killed != nil && *p.killed }
+// killedNow reports whether a timed crash has struck this process; it
+// halts at the next step point that observes it.
+func (p *proc) killedNow() bool { return p.h.Killed() }
 
 type outcome struct {
 	status sim.Status
@@ -148,17 +151,7 @@ func (p *proc) checkAbort(r int) *outcome {
 	if p.killedNow() {
 		return &outcome{status: sim.StatusCrashed, round: r}
 	}
-	aborted := false
-	if p.clock != nil {
-		aborted = p.clock.Aborted()
-	} else {
-		select {
-		case <-p.done:
-			aborted = true
-		default:
-		}
-	}
-	if aborted || (p.maxRounds > 0 && r > p.maxRounds) {
+	if p.h.Aborted() || (p.maxRounds > 0 && r > p.maxRounds) {
 		return &outcome{status: sim.StatusBlocked, round: r - 1}
 	}
 	return nil
@@ -186,7 +179,7 @@ func (p *proc) exchange(r, ph int, est model.Value) (*tally, *outcome) {
 	delete(p.pending, cur)
 
 	for 2*t.total <= p.n {
-		msg, ok := p.net.Receive(p.id, p.done)
+		msg, ok := p.net.Receive(p.id, p.h.Done())
 		if p.killedNow() {
 			// A timed crash struck while waiting: halt before acting on
 			// whatever was (or was not) received.
@@ -305,20 +298,6 @@ func newProc(cfg *Config, i int, nw *netsim.Network, ctr *metrics.Counters) *pro
 	}
 }
 
-// newNetwork wires the simulated network; extraOpts lets the virtual driver
-// attach its scheduler.
-func newNetwork(cfg *Config, ctr *metrics.Counters, extraOpts ...netsim.Option) (*netsim.Network, error) {
-	netOpts := []netsim.Option{
-		netsim.WithSeed(uint64(cfg.Seed) ^ 0x9e6c_63d0_876a_9a7d),
-		netsim.WithCounters(ctr),
-	}
-	if cfg.MaxDelay > 0 {
-		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
-	}
-	netOpts = append(netOpts, extraOpts...)
-	return netsim.New(cfg.N, netOpts...)
-}
-
 // assemble builds the Result from the collected outcomes.
 func assemble(cfg *Config, outcomes []outcome, ctr *metrics.Counters, elapsed time.Duration) (*sim.Result, error) {
 	res := &sim.Result{
@@ -349,99 +328,28 @@ func Run(cfg Config) (*sim.Result, error) {
 			return nil, fmt.Errorf("%w: proposal of %v is %v", ErrBadConfig, model.ProcID(i), v)
 		}
 	}
-	if cfg.Engine == sim.EngineRealtime {
-		return runRealtime(&cfg)
-	}
-	return runVirtual(&cfg)
-}
-
-// runVirtual drives the run on a deterministic discrete-event scheduler:
-// same Config, same Result. Blocked runs end at quiescence instead of a
-// wall-clock timeout.
-func runVirtual(cfg *Config) (*sim.Result, error) {
 	var ctr metrics.Counters
-	clock := vclock.New(vclock.WithMaxSteps(sim.DefaultMaxSteps))
-	nw, err := newNetwork(cfg, &ctr, netsim.WithScheduler(clock))
-	if err != nil {
-		return nil, err
-	}
+	var nw *netsim.Network
 	outcomes := make([]outcome, cfg.N)
-	killed := make([]bool, cfg.N)
-	for i := 0; i < cfg.N; i++ {
-		p := newProc(cfg, i, nw, &ctr)
-		p.clock = clock
-		p.killed = &killed[i]
-		proposal := cfg.Proposals[i]
-		vp := clock.Spawn(fmt.Sprintf("p%d", i), func() {
-			outcomes[p.id] = p.run(proposal)
-			nw.CloseInbox(p.id)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x9e6c_63d0_876a_9a7d, &ctr, cfg.MinDelay, cfg.MaxDelay),
+		func(i int, h *driver.Handle) {
+			p := newProc(&cfg, i, nw, &ctr)
+			p.h = h
+			outcomes[i] = p.run(cfg.Proposals[i])
 		})
-		nw.Bind(p.id, vp)
-	}
-	// Timed crashes at virtual instants (Timed() is sorted, keeping event
-	// installation deterministic).
-	for _, tc := range cfg.Crashes.Timed() {
-		pid := tc.P
-		clock.At(vclock.Time(tc.At), func() {
-			killed[pid] = true
-			nw.CloseInbox(pid)
-		})
-	}
-	out := clock.Run()
-	nw.Shutdown()
-	res, err := assemble(cfg, outcomes, &ctr, time.Duration(out.Now))
 	if err != nil {
 		return nil, err
 	}
-	res.VirtualTime = time.Duration(out.Now)
-	res.Steps = out.Steps
-	res.Quiesced = out.Quiesced
+	res, err := assemble(&cfg, outcomes, &ctr, out.Elapsed)
+	if err != nil {
+		return nil, err
+	}
+	out.Fill(res)
 	return res, nil
-}
-
-// runRealtime is the goroutine-per-process backend, kept for differential
-// testing against the virtual engine.
-func runRealtime(cfg *Config) (*sim.Result, error) {
-	var ctr metrics.Counters
-	nw, err := newNetwork(cfg, &ctr)
-	if err != nil {
-		return nil, err
-	}
-
-	done := make(chan struct{})
-	outcomes := make([]outcome, cfg.N)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < cfg.N; i++ {
-		p := newProc(cfg, i, nw, &ctr)
-		p.done = done
-		proposal := cfg.Proposals[i]
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			outcomes[p.id] = p.run(proposal)
-			nw.CloseInbox(p.id)
-		}(p)
-	}
-
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	timer := time.NewTimer(timeout)
-	select {
-	case <-finished:
-		timer.Stop()
-	case <-timer.C:
-		close(done)
-		<-finished
-	}
-	elapsed := time.Since(start)
-	nw.Shutdown()
-	return assemble(cfg, outcomes, &ctr, elapsed)
 }

@@ -5,13 +5,13 @@ import (
 
 	"allforone/internal/coin"
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
 	"allforone/internal/netsim"
 	"allforone/internal/sim"
 	"allforone/internal/trace"
-	"allforone/internal/vclock"
 )
 
 // Status re-exports the shared outcome vocabulary (see internal/sim).
@@ -47,10 +47,8 @@ type proc struct {
 	sched  *failures.Schedule
 	ctr    *metrics.Counters
 	log    *trace.Log
-	done   <-chan struct{}   // realtime engine: runner's abort signal
-	clock  *vclock.Scheduler // virtual engine: abort is scheduler state
-	killed *bool             // virtual engine: a timed crash has struck
-	rng    *rand.Rand        // drives the "arbitrary subset" of interrupted broadcasts
+	h      *driver.Handle // the engine's abort/kill state (see internal/driver)
+	rng    *rand.Rand     // drives the "arbitrary subset" of interrupted broadcasts
 
 	maxRounds int // 0 = unbounded
 	pending   map[phaseKey][]bufferedMsg
@@ -61,24 +59,14 @@ type proc struct {
 	ablateCluster bool
 }
 
-// abortedNow reports whether the runner has aborted the execution: the
-// realtime engine closes the done channel at Timeout; the virtual engine's
+// abortedNow reports whether the engine has aborted the execution: the
+// realtime engine closes its done channel at Timeout; the virtual engine's
 // scheduler aborts on quiescence, deadline, or step budget.
-func (p *proc) abortedNow() bool {
-	if p.clock != nil {
-		return p.clock.Aborted()
-	}
-	select {
-	case <-p.done:
-		return true
-	default:
-		return false
-	}
-}
+func (p *proc) abortedNow() bool { return p.h.Aborted() }
 
-// killedNow reports whether a timed (virtual-instant) crash has struck this
-// process; it halts at the next step point that observes it.
-func (p *proc) killedNow() bool { return p.killed != nil && *p.killed }
+// killedNow reports whether a timed crash has struck this process; it
+// halts at the next step point that observes it.
+func (p *proc) killedNow() bool { return p.h.Killed() }
 
 // checkAbort implements the per-round stop conditions: a timed crash, the
 // MaxRounds cap, and the runner's abort signal. Exchange blocks also

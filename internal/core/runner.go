@@ -8,6 +8,7 @@ import (
 
 	"allforone/internal/coin"
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
@@ -129,8 +130,8 @@ type Config struct {
 }
 
 // DefaultTimeout bounds realtime-engine runs whose liveness condition may
-// not hold.
-const DefaultTimeout = 30 * time.Second
+// not hold (see internal/driver, which owns the engine dispatch).
+const DefaultTimeout = driver.DefaultTimeout
 
 // DefaultMaxSteps bounds virtual-engine runs that never converge: a run
 // processing this many delivery events without terminating is aborted
@@ -189,27 +190,14 @@ type execEnv struct {
 	outcomes []outcome
 }
 
-// newExecEnv wires the substrate. extraNetOpts lets an engine add its own
-// network options (the virtual engine attaches its scheduler).
-func newExecEnv(cfg *Config, n int, extraNetOpts ...netsim.Option) (*execEnv, error) {
+// newExecEnv wires the engine-independent substrate; the network is built
+// separately by the driver through newNetwork.
+func newExecEnv(cfg *Config, n int) *execEnv {
 	env := &execEnv{
 		n:        n,
 		part:     cfg.Partition,
 		outcomes: make([]outcome, n),
 	}
-	netOpts := []netsim.Option{
-		netsim.WithSeed(uint64(cfg.Seed) ^ 0xa076_1d64_78bd_642f),
-		netsim.WithCounters(&env.ctr),
-	}
-	if cfg.MaxDelay > 0 {
-		netOpts = append(netOpts, netsim.WithUniformDelay(cfg.MinDelay, cfg.MaxDelay))
-	}
-	netOpts = append(netOpts, extraNetOpts...)
-	nw, err := netsim.New(n, netOpts...)
-	if err != nil {
-		return nil, err
-	}
-	env.nw = nw
 
 	// One memory and one CONS array per cluster.
 	env.arrays = make([]*consensusobj.Array, env.part.M())
@@ -221,7 +209,14 @@ func newExecEnv(cfg *Config, n int, extraNetOpts ...netsim.Option) (*execEnv, er
 	if cfg.CommonCoinOverride != nil {
 		env.common = cfg.CommonCoinOverride
 	}
-	return env, nil
+	return env
+}
+
+// newNetwork returns the driver's network constructor: the driver appends
+// the engine-specific options (the virtual engine attaches its scheduler).
+func (env *execEnv) newNetwork(cfg *Config) driver.NewNetFunc {
+	return driver.StandardNet(&env.nw, env.n,
+		uint64(cfg.Seed)^0xa076_1d64_78bd_642f, &env.ctr, cfg.MinDelay, cfg.MaxDelay)
 }
 
 // newProc builds process i's runtime state.
@@ -253,7 +248,7 @@ func (env *execEnv) newProc(cfg *Config, i int) *proc {
 }
 
 // run executes the configured algorithm on behalf of p and stores the
-// outcome, closing p's inbox on the way out.
+// outcome (the driver closes p's inbox when the body returns).
 func (env *execEnv) run(cfg *Config, p *proc, proposal model.Value) {
 	switch cfg.Algorithm {
 	case LocalCoin:
@@ -261,7 +256,6 @@ func (env *execEnv) run(cfg *Config, p *proc, proposal model.Value) {
 	case CommonCoin:
 		env.outcomes[p.id] = p.runCommonCoin(proposal)
 	}
-	env.nw.CloseInbox(p.id)
 }
 
 // buildResult assembles the Result from the collected outcomes.
@@ -291,7 +285,9 @@ func (env *execEnv) buildResult(elapsed time.Duration) (*Result, error) {
 // is a deterministic discrete-event simulation: identical Configs yield
 // identical Results and traces. Under EngineRealtime one goroutine per
 // process races the Go scheduler, as a differential check that the
-// algorithms do not depend on any scheduling discipline.
+// algorithms do not depend on any scheduling discipline. The engine
+// dispatch itself lives in internal/driver, shared with every other
+// protocol runner in the repository.
 //
 // Run returns an error for invalid configurations and for protocol
 // invariant violations (which indicate a bug, never a legal execution).
@@ -300,8 +296,25 @@ func Run(cfg Config) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Engine == EngineRealtime {
-		return runRealtime(&cfg, n)
+	env := newExecEnv(&cfg, n)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, n, env.newNetwork(&cfg), func(i int, h *driver.Handle) {
+		p := env.newProc(&cfg, i)
+		p.h = h
+		env.run(&cfg, p, cfg.Proposals[i])
+	})
+	if err != nil {
+		return nil, err
 	}
-	return runVirtual(&cfg, n)
+	res, err := env.buildResult(out.Elapsed)
+	if err != nil {
+		return nil, err
+	}
+	out.Fill(res)
+	return res, nil
 }

@@ -1,0 +1,343 @@
+// Package driver is the single engine-dispatch layer of the repository:
+// every protocol runner (the hybrid algorithms of internal/core, the
+// message-passing baselines, the m&m comparator, and the extension stack)
+// executes its per-process closures through driver.Run, which owns the
+// choice between the two execution engines:
+//
+//   - sim.EngineVirtual (the default): each process is a cooperatively
+//     stepped coroutine on a vclock discrete-event scheduler; message
+//     transit is a timestamped delivery event; blocked executions are
+//     detected by quiescence — never by wall clock — and bounded by
+//     MaxVirtualTime / MaxSteps. Same inputs, same outcome, bit for bit.
+//   - sim.EngineRealtime: the goroutine-per-process backend. Interleavings
+//     come from the Go scheduler, stuck runs are aborted by a wall-clock
+//     timer, and results are NOT reproducible. Kept as a differential
+//     check that no protocol depends on the virtual engine's scheduling
+//     discipline.
+//
+// A protocol package provides two closures: a network constructor (driver
+// appends the engine-specific netsim options — the virtual engine attaches
+// its scheduler) and a per-process body. The body observes engine state
+// only through the Handle it receives: Aborted (should I give up?), Killed
+// (has a timed crash struck me?), Done (the realtime abort channel for
+// blocking receives), and Sleep (advance time without taking steps). That
+// contract is what lets one protocol implementation run unchanged on both
+// engines.
+package driver
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/sim"
+	"allforone/internal/vclock"
+)
+
+// DefaultTimeout bounds realtime-engine runs whose liveness condition may
+// not hold. The virtual engine never consults it: blocked runs end at
+// quiescence, and runaway runs at the MaxVirtualTime / MaxSteps bounds.
+const DefaultTimeout = 30 * time.Second
+
+// ErrBadEngine reports an unknown Config.Engine value.
+var ErrBadEngine = errors.New("driver: unknown engine")
+
+// Config carries the engine knobs shared by every protocol runner. The
+// protocol-specific parts of a run (proposals, partitions, coins, crash
+// step points) stay in the protocol package's own Config; this struct is
+// only about HOW the processes are driven.
+type Config struct {
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual.
+	Engine sim.Engine
+	// Timeout aborts a realtime-engine run whose processes are stuck
+	// waiting; blocked processes observe Aborted() and unwind. Zero means
+	// DefaultTimeout. The virtual engine ignores it.
+	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run: once
+	// the next event lies past the bound the run is aborted. Zero means
+	// unbounded (quiescence detection and MaxSteps still bound stuck runs).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of scheduler events of an EngineVirtual
+	// run — the deterministic guard against executions that never converge.
+	// Zero means sim.DefaultMaxSteps; negative means unbounded.
+	MaxSteps int64
+	// Crashes supplies the timed (virtual-instant) part of the failure
+	// pattern: at each instant the victim's Killed flag is raised and its
+	// inbox closed, so it halts at its next step point. Step-point crashes
+	// remain the protocol's own business. Under the realtime engine the
+	// instants are approximated on the wall clock. Nil is crash-free.
+	Crashes *failures.Schedule
+}
+
+// NewNetFunc builds the run's simulated network. driver.Run appends the
+// engine-specific options (the virtual engine passes netsim.WithScheduler);
+// the protocol supplies everything else (seed, counters, delay policy).
+// A nil NewNetFunc runs the processes without a network (pure shared-memory
+// protocols).
+type NewNetFunc func(extra ...netsim.Option) (*netsim.Network, error)
+
+// Body is one process's protocol closure: execute process i's algorithm,
+// observing engine state through h. The driver closes process i's inbox
+// when the body returns.
+type Body func(i int, h *Handle)
+
+// StandardNet returns the NewNetFunc shared by most protocol runners: a
+// fully connected network over n processes with a package-specific seed
+// derivation, the run's counters, and an optional uniform delay band.
+// The constructed network is also stored through nw so the process bodies
+// (created before the network exists) can reach it.
+func StandardNet(nw **netsim.Network, n int, seed uint64, ctr *metrics.Counters, minDelay, maxDelay time.Duration) NewNetFunc {
+	return func(extra ...netsim.Option) (*netsim.Network, error) {
+		opts := []netsim.Option{netsim.WithSeed(seed), netsim.WithCounters(ctr)}
+		if maxDelay > 0 {
+			opts = append(opts, netsim.WithUniformDelay(minDelay, maxDelay))
+		}
+		opts = append(opts, extra...)
+		built, err := netsim.New(n, opts...)
+		if err != nil {
+			return nil, err
+		}
+		*nw = built
+		return built, nil
+	}
+}
+
+// Outcome reports the engine-level result of a run. Protocol packages copy
+// it into their Result types (see Fill).
+type Outcome struct {
+	// Elapsed is the run duration: wall-clock under the realtime engine,
+	// virtual-clock (equal to VirtualTime) under the virtual engine, so
+	// virtual Results stay bit-reproducible.
+	Elapsed time.Duration
+	// VirtualTime is the virtual clock at the end of the run; zero under
+	// the realtime engine.
+	VirtualTime time.Duration
+	// Steps is the number of discrete events processed; zero under the
+	// realtime engine.
+	Steps int64
+	// Quiesced reports that the virtual engine aborted the run because no
+	// process could ever take another step — the deterministic "blocked
+	// forever" verdict.
+	Quiesced bool
+}
+
+// Fill copies the engine-level fields into a sim.Result.
+func (o Outcome) Fill(res *sim.Result) {
+	res.Elapsed = o.Elapsed
+	res.VirtualTime = o.VirtualTime
+	res.Steps = o.Steps
+	res.Quiesced = o.Quiesced
+}
+
+// Handle is a process body's view of the engine driving it. Exactly one of
+// clock/done is set; killed is always set.
+type Handle struct {
+	clock  *vclock.Scheduler
+	proc   *vclock.Proc // the body's own coroutine (virtual engine)
+	done   <-chan struct{}
+	killed *atomic.Bool
+}
+
+// Aborted reports whether the run has been aborted (realtime timeout, or
+// virtual quiescence / deadline / step budget): the body should record a
+// blocked outcome and unwind promptly.
+func (h *Handle) Aborted() bool {
+	if h.clock != nil {
+		return h.clock.Aborted()
+	}
+	select {
+	case <-h.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Killed reports whether a timed crash has struck this process; the body
+// must halt (as crashed) at the next step point that observes it.
+func (h *Handle) Killed() bool { return h.killed.Load() }
+
+// Done returns the realtime engine's abort channel, for blocking receives
+// (netsim.Network.Receive). It is nil under the virtual engine, whose
+// receives observe the scheduler's abort instead.
+func (h *Handle) Done() <-chan struct{} { return h.done }
+
+// Sleep suspends the calling body for d: virtual time under the virtual
+// engine (zero wall-clock cost), wall-clock time under the realtime
+// engine. It returns false when the run was aborted before the full
+// duration elapsed. Sleep must only be called from the body's own
+// process context.
+func (h *Handle) Sleep(d time.Duration) bool {
+	if d <= 0 {
+		return !h.Aborted()
+	}
+	if h.clock != nil {
+		deadline := h.clock.Now() + vclock.Time(d)
+		h.clock.At(deadline, func() { h.proc.Wake() })
+		// Message deliveries wake the same coroutine; re-park until the
+		// deadline event (or a later one) has advanced the clock far enough.
+		for h.clock.Now() < deadline {
+			if !h.proc.Park() {
+				return false
+			}
+		}
+		return true
+	}
+	select {
+	case <-time.After(d):
+		return true
+	case <-h.done:
+		return false
+	}
+}
+
+// Run executes n process bodies under the configured engine and returns
+// the engine-level outcome. It owns the whole dispatch lifecycle: network
+// construction (with engine-specific options), process spawning, timed
+// crash installation, abort detection, and network shutdown.
+func Run(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+	switch cfg.Engine {
+	case sim.EngineVirtual:
+		return runVirtual(cfg, n, newNet, body)
+	case sim.EngineRealtime:
+		return runRealtime(cfg, n, newNet, body)
+	}
+	return Outcome{}, fmt.Errorf("%w %d", ErrBadEngine, int(cfg.Engine))
+}
+
+// runVirtual drives the run on a deterministic discrete-event scheduler:
+// same inputs, same Outcome. Blocked runs end at quiescence instead of a
+// wall-clock timeout.
+func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+	maxSteps := cfg.MaxSteps
+	if maxSteps == 0 {
+		maxSteps = sim.DefaultMaxSteps
+	} else if maxSteps < 0 {
+		maxSteps = 0 // vclock: 0 = unbounded
+	}
+	clock := vclock.New(
+		vclock.WithDeadline(vclock.Time(cfg.MaxVirtualTime)),
+		vclock.WithMaxSteps(maxSteps),
+	)
+	var nw *netsim.Network
+	if newNet != nil {
+		var err error
+		if nw, err = newNet(netsim.WithScheduler(clock)); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	killed := make([]atomic.Bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h := &Handle{clock: clock, killed: &killed[i]}
+		h.proc = clock.Spawn(fmt.Sprintf("p%d", i), func() {
+			body(i, h)
+			if nw != nil {
+				nw.CloseInbox(model.ProcID(i))
+			}
+		})
+		if nw != nil {
+			nw.Bind(model.ProcID(i), h.proc)
+		}
+	}
+
+	// Timed crashes: at each virtual instant, mark the victim killed and
+	// close its inbox; the victim halts at its next step point. Timed()
+	// returns a sorted slice, keeping event installation deterministic.
+	for _, tc := range cfg.Crashes.Timed() {
+		tc := tc
+		clock.At(vclock.Time(tc.At), func() {
+			killed[tc.P].Store(true)
+			if nw != nil {
+				nw.CloseInbox(tc.P)
+			}
+		})
+	}
+
+	out := clock.Run()
+	if nw != nil {
+		nw.Shutdown()
+	}
+	return Outcome{
+		Elapsed:     time.Duration(out.Now),
+		VirtualTime: time.Duration(out.Now),
+		Steps:       out.Steps,
+		Quiesced:    out.Quiesced,
+	}, nil
+}
+
+// runRealtime is the goroutine-per-process backend: one goroutine per
+// body, a wall timer aborting stuck runs, and timed crashes approximated
+// at wall-clock instants. Interleavings are decided by the Go scheduler,
+// so runs are NOT reproducible; the backend exists as a differential check
+// for the deterministic virtual engine.
+func runRealtime(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+	var nw *netsim.Network
+	if newNet != nil {
+		var err error
+		if nw, err = newNet(); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	done := make(chan struct{})
+	killed := make([]atomic.Bool, n)
+	var crashTimers []*time.Timer
+	for _, tc := range cfg.Crashes.Timed() {
+		tc := tc
+		crashTimers = append(crashTimers, time.AfterFunc(tc.At, func() {
+			killed[tc.P].Store(true)
+			if nw != nil {
+				nw.CloseInbox(tc.P)
+			}
+		}))
+	}
+
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		h := &Handle{done: done, killed: &killed[i]}
+		wg.Add(1)
+		go func(i int, h *Handle) {
+			defer wg.Done()
+			body(i, h)
+			if nw != nil {
+				nw.CloseInbox(model.ProcID(i))
+			}
+		}(i, h)
+	}
+
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	finished := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(finished)
+	}()
+	timer := time.NewTimer(timeout)
+	select {
+	case <-finished:
+		timer.Stop()
+	case <-timer.C:
+		close(done) // abort blocked processes; they observe Aborted()
+		<-finished
+	}
+	elapsed := time.Since(start)
+	for _, t := range crashTimers {
+		t.Stop()
+	}
+	if nw != nil {
+		nw.Shutdown()
+	}
+	return Outcome{Elapsed: elapsed}, nil
+}

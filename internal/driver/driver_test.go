@@ -1,0 +1,265 @@
+package driver
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/sim"
+)
+
+// echoNet builds a plain seeded network for n processes.
+func echoNet(n int, seed uint64, ctr *metrics.Counters) NewNetFunc {
+	return func(extra ...netsim.Option) (*netsim.Network, error) {
+		opts := []netsim.Option{netsim.WithSeed(seed), netsim.WithCounters(ctr)}
+		opts = append(opts, extra...)
+		return netsim.New(n, opts...)
+	}
+}
+
+func TestBadEngine(t *testing.T) {
+	t.Parallel()
+	_, err := Run(Config{Engine: sim.Engine(99)}, 1, nil, func(int, *Handle) {})
+	if !errors.Is(err, ErrBadEngine) {
+		t.Fatalf("err = %v, want ErrBadEngine", err)
+	}
+}
+
+// A tiny ping protocol: every process broadcasts its id and waits for n
+// messages. Exercises spawn, Bind, delivery events, and CloseInbox on both
+// engines.
+func pingBodies(t *testing.T, engine sim.Engine) ([]int, Outcome) {
+	t.Helper()
+	const n = 5
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	got := make([]int, n)
+	newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+		var err error
+		nw, err = echoNet(n, 42, &ctr)(extra...)
+		return nw, err
+	}
+	out, err := Run(Config{Engine: engine, Timeout: 20 * time.Second}, n, newNet,
+		func(i int, h *Handle) {
+			nw.Broadcast(model.ProcID(i), i)
+			for k := 0; k < n; k++ {
+				if _, ok := nw.Receive(model.ProcID(i), h.Done()); !ok {
+					return
+				}
+				got[i]++
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return got, out
+}
+
+func TestPingBothEngines(t *testing.T) {
+	t.Parallel()
+	for _, engine := range []sim.Engine{sim.EngineVirtual, sim.EngineRealtime} {
+		got, out := pingBodies(t, engine)
+		for i, g := range got {
+			if g != len(got) {
+				t.Errorf("%v: proc %d received %d messages, want %d", engine, i, g, len(got))
+			}
+		}
+		if engine == sim.EngineVirtual && out.Steps == 0 {
+			t.Error("virtual run reported zero steps")
+		}
+		if engine == sim.EngineRealtime && (out.Steps != 0 || out.VirtualTime != 0) {
+			t.Errorf("realtime run leaked virtual fields: %+v", out)
+		}
+	}
+}
+
+// The virtual engine must flag a run where processes wait forever as
+// quiesced, immediately, without any wall-clock timeout.
+func TestVirtualQuiescence(t *testing.T) {
+	t.Parallel()
+	const n = 3
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+		var err error
+		nw, err = echoNet(n, 7, &ctr)(extra...)
+		return nw, err
+	}
+	start := time.Now()
+	out, err := Run(Config{}, n, newNet, func(i int, h *Handle) {
+		nw.Receive(model.ProcID(i), h.Done()) // nobody ever sends
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Quiesced {
+		t.Errorf("Quiesced = false, want true: %+v", out)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("quiescence took %v of wall clock", wall)
+	}
+}
+
+// The realtime engine aborts a stuck run at Timeout; bodies observe
+// Aborted() through the failed receive.
+func TestRealtimeTimeoutAborts(t *testing.T) {
+	t.Parallel()
+	const n = 2
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+		var err error
+		nw, err = echoNet(n, 9, &ctr)(extra...)
+		return nw, err
+	}
+	aborted := make([]bool, n)
+	_, err := Run(Config{Engine: sim.EngineRealtime, Timeout: 100 * time.Millisecond}, n, newNet,
+		func(i int, h *Handle) {
+			if _, ok := nw.Receive(model.ProcID(i), h.Done()); !ok {
+				aborted[i] = h.Aborted()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range aborted {
+		if !a {
+			t.Errorf("proc %d did not observe the abort", i)
+		}
+	}
+}
+
+// Timed crashes raise Killed on both engines; the virtual engine does so
+// at the exact virtual instant.
+func TestTimedCrashBothEngines(t *testing.T) {
+	t.Parallel()
+	for _, engine := range []sim.Engine{sim.EngineVirtual, sim.EngineRealtime} {
+		const n = 2
+		sched := failures.NewSchedule(n)
+		if err := sched.SetTimed(1, 5*time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		var ctr metrics.Counters
+		var nw *netsim.Network
+		newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+			var err error
+			nw, err = echoNet(n, 3, &ctr)(extra...)
+			return nw, err
+		}
+		killedSeen := make([]bool, n)
+		_, err := Run(Config{Engine: engine, Crashes: sched, Timeout: 10 * time.Second}, n, newNet,
+			func(i int, h *Handle) {
+				if i == 1 {
+					// Victim: sleep past the crash instant, then observe.
+					h.Sleep(20 * time.Millisecond)
+					killedSeen[i] = h.Killed()
+					return
+				}
+				// Survivor: the victim's inbox is closed, so this send is
+				// dropped; just finish.
+				nw.Send(model.ProcID(i), 1, "late")
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !killedSeen[1] {
+			t.Errorf("%v: victim did not observe Killed after the crash instant", engine)
+		}
+	}
+}
+
+// Sleep advances virtual time with no wall-clock cost and survives
+// interleaved message deliveries (which wake the same coroutine).
+func TestVirtualSleep(t *testing.T) {
+	t.Parallel()
+	const n = 2
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+		var err error
+		nw, err = echoNet(n, 5, &ctr)(extra...)
+		return nw, err
+	}
+	start := time.Now()
+	out, err := Run(Config{}, n, newNet, func(i int, h *Handle) {
+		if i == 0 {
+			// Flood the sleeper with wakeups before and during its sleep.
+			for k := 0; k < 4; k++ {
+				nw.Send(0, 1, k)
+			}
+			return
+		}
+		if !h.Sleep(time.Hour) {
+			t.Error("Sleep aborted unexpectedly")
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.VirtualTime < time.Hour {
+		t.Errorf("VirtualTime = %v, want ≥ 1h", out.VirtualTime)
+	}
+	if wall := time.Since(start); wall > 5*time.Second {
+		t.Errorf("virtual sleep burned %v of wall clock", wall)
+	}
+}
+
+// A nil NewNetFunc runs pure shared-memory bodies: no network, no inboxes,
+// deterministic spawn-order execution under the virtual engine.
+func TestNilNetwork(t *testing.T) {
+	t.Parallel()
+	const n = 4
+	for _, engine := range []sim.Engine{sim.EngineVirtual, sim.EngineRealtime} {
+		ran := make([]bool, n)
+		if _, err := Run(Config{Engine: engine, Timeout: 10 * time.Second}, n, nil,
+			func(i int, h *Handle) { ran[i] = true }); err != nil {
+			t.Fatal(err)
+		}
+		for i, r := range ran {
+			if !r {
+				t.Errorf("%v: body %d never ran", engine, i)
+			}
+		}
+	}
+}
+
+// Identical inputs must yield identical Outcomes under the virtual engine.
+func TestVirtualOutcomeReproducible(t *testing.T) {
+	t.Parallel()
+	run := func() Outcome {
+		const n = 6
+		var ctr metrics.Counters
+		var nw *netsim.Network
+		newNet := func(extra ...netsim.Option) (*netsim.Network, error) {
+			var err error
+			opts := []netsim.Option{
+				netsim.WithSeed(11),
+				netsim.WithCounters(&ctr),
+				netsim.WithUniformDelay(time.Microsecond, time.Millisecond),
+			}
+			opts = append(opts, extra...)
+			nw, err = netsim.New(n, opts...)
+			return nw, err
+		}
+		out, err := Run(Config{}, n, newNet, func(i int, h *Handle) {
+			nw.Broadcast(model.ProcID(i), i)
+			for k := 0; k < n; k++ {
+				if _, ok := nw.Receive(model.ProcID(i), h.Done()); !ok {
+					return
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Errorf("outcomes diverged: %+v vs %+v", a, b)
+	}
+}

@@ -317,6 +317,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 			Graph:     gc.g,
 			Proposals: proposalsFor("unanimous1", gc.g.N(), nil),
 			Seed:      opts.SeedBase + 23,
+			Engine:    opts.Engine,
 			MaxRounds: 10,
 			Timeout:   opts.Timeout,
 		})
@@ -423,6 +424,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	for trial := 0; trial < opts.Trials; trial++ {
 		res, err := shconsensus.Run(shconsensus.Config{
 			N: n, Proposals: proposalsFor("split", n, nil),
+			Engine: opts.Engine,
 		})
 		if err != nil {
 			return nil, err

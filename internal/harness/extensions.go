@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"time"
+
 	"allforone/internal/failures"
 	"allforone/internal/model"
 	"allforone/internal/multivalued"
@@ -41,6 +43,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			Partition: part,
 			Proposals: props,
 			Seed:      opts.SeedBase + int64(trial)*379,
+			Engine:    opts.Engine,
 			Crashes:   sched,
 			Timeout:   opts.Timeout,
 		})
@@ -62,37 +65,42 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 	tb.AddRowf("multivalued consensus", "decide(7 candidates)", mvPct, meanOr(mvRounds, 0))
 	rep.Findings["multivalued/success_pct"] = mvPct
 
-	// Layer 2: atomic register — survivor read/write after the crash.
+	// Layer 2: atomic register — survivor read/write after the crash. The
+	// scripted run (register.Run, on the unified driver) expresses the
+	// scenario as timed crashes: process 1 (p2) writes "pre" at t=0,
+	// everyone but the survivor (process 2, p3) crashes at 1ms, and the
+	// survivor reads/writes/reads from 2ms on.
 	regOK := 0
 	for trial := 0; trial < opts.Trials; trial++ {
-		sys, err := register.New(part, register.Options{
+		sched := failures.NewSchedule(part.N())
+		for p := 0; p < part.N(); p++ {
+			if model.ProcID(p) != survivor {
+				if err := sched.SetTimed(model.ProcID(p), time.Millisecond); err != nil {
+					return nil, err
+				}
+			}
+		}
+		scripts := make([][]register.Op, part.N())
+		scripts[1] = []register.Op{register.WriteOp("pre")}
+		scripts[survivor] = []register.Op{
+			{Kind: register.OpRead, After: 2 * time.Millisecond},
+			register.WriteOp("post"),
+			register.ReadOp(),
+		}
+		res, err := register.Run(register.Config{
+			Partition: part,
+			Scripts:   scripts,
 			Seed:      opts.SeedBase + int64(trial)*631,
-			OpTimeout: opts.Timeout,
+			Engine:    opts.Engine,
+			Crashes:   sched,
+			Timeout:   opts.Timeout,
 		})
 		if err != nil {
 			return nil, err
 		}
-		ok := func() bool {
-			defer sys.Shutdown()
-			if err := sys.Handle(1).Write("pre"); err != nil {
-				return false
-			}
-			for p := 0; p < part.N(); p++ {
-				if model.ProcID(p) != survivor {
-					sys.Crash(model.ProcID(p))
-				}
-			}
-			v, err := sys.Handle(survivor).Read()
-			if err != nil || v != "pre" {
-				return false
-			}
-			if err := sys.Handle(survivor).Write("post"); err != nil {
-				return false
-			}
-			v, err = sys.Handle(survivor).Read()
-			return err == nil && v == "post"
-		}()
-		if ok {
+		surv := res.Procs[survivor]
+		if surv.Status == sim.StatusDecided && len(surv.Ops) == 3 &&
+			surv.Ops[0].Val == "pre" && surv.Ops[2].Val == "post" {
 			regOK++
 		}
 	}
@@ -118,6 +126,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			Commands:  cmds,
 			Slots:     slots,
 			Seed:      opts.SeedBase + int64(trial)*881,
+			Engine:    opts.Engine,
 			Crashes:   sched,
 			Timeout:   opts.Timeout,
 		})

@@ -42,8 +42,11 @@ type Options struct {
 	// (default 20s; blocked-run experiments use their own shorter bound).
 	// The virtual engine detects blocked runs by quiescence instead.
 	Timeout time.Duration
-	// Engine selects the execution engine for hybrid-algorithm trials; the
-	// zero value is core.EngineVirtual (deterministic, no wall-clock time).
+	// Engine selects the execution engine for every trial of every
+	// experiment — the hybrid algorithms, the message-passing baselines,
+	// the m&m comparator, and the extension stack (E9) all dispatch
+	// through internal/driver. The zero value is core.EngineVirtual
+	// (deterministic, no wall-clock time).
 	Engine core.Engine
 	// Parallelism caps the worker pool that executes independent trials
 	// concurrently; 0 means one worker per available CPU under the virtual

@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand/v2"
-	"sync"
 	"time"
 
 	"allforone/internal/coin"
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
@@ -33,20 +33,36 @@ type Config struct {
 	Graph *Graph
 	// Proposals holds each process's binary proposal (required, length n).
 	Proposals []model.Value
-	// Seed makes all randomness reproducible.
+	// Seed makes all randomness reproducible. Under sim.EngineVirtual it
+	// pins the entire execution.
 	Seed int64
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic discrete-event simulation — same
+	// Config, same Result). sim.EngineRealtime keeps the original
+	// goroutine-per-process backend for differential testing.
+	Engine sim.Engine
 	// Crashes is the failure pattern; nil means crash-free.
 	Crashes *failures.Schedule
 	// MaxRounds bounds execution; 0 = unbounded.
 	MaxRounds int
-	// Timeout aborts blocked runs; zero means DefaultTimeout.
+	// Timeout aborts blocked realtime-engine runs; zero means
+	// DefaultTimeout. The virtual engine detects blocked runs by
+	// quiescence instead and ignores this field.
 	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run;
+	// zero means unbounded (quiescence and MaxSteps still apply).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of discrete events of an EngineVirtual
+	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
+	MaxSteps int64
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
 	// LocalCoinOverride, when non-nil, supplies each process's coin.
 	LocalCoinOverride func(p model.ProcID) coin.Local
 }
 
 // DefaultTimeout bounds runs whose liveness condition may not hold.
-const DefaultTimeout = 30 * time.Second
+const DefaultTimeout = driver.DefaultTimeout
 
 // Errors returned by Run.
 var (
@@ -82,7 +98,7 @@ type proc struct {
 	local     coin.Local
 	sched     *failures.Schedule
 	ctr       *metrics.Counters
-	done      <-chan struct{}
+	h         *driver.Handle // the engine's abort/kill state
 	rng       *rand.Rand
 	maxRounds int
 	pending   map[phaseKey][]model.Value
@@ -96,12 +112,10 @@ type outcome struct {
 }
 
 func (p *proc) checkAbort(r int) *outcome {
-	select {
-	case <-p.done:
-		return &outcome{status: sim.StatusBlocked, round: r - 1}
-	default:
+	if p.h.Killed() {
+		return &outcome{status: sim.StatusCrashed, round: r}
 	}
-	if p.maxRounds > 0 && r > p.maxRounds {
+	if p.h.Aborted() || (p.maxRounds > 0 && r > p.maxRounds) {
 		return &outcome{status: sim.StatusBlocked, round: r - 1}
 	}
 	return nil
@@ -145,7 +159,12 @@ func (p *proc) exchange(r, ph int, est model.Value) (map[model.Value]int, *outco
 	delete(p.pending, cur)
 
 	for 2*total <= p.n {
-		msg, ok := p.net.Receive(p.id, p.done)
+		msg, ok := p.net.Receive(p.id, p.h.Done())
+		if p.h.Killed() {
+			// A timed crash struck while waiting: halt before acting on
+			// whatever was (or was not) received.
+			return nil, &outcome{status: sim.StatusCrashed, round: r}
+		}
 		if !ok {
 			return nil, &outcome{status: sim.StatusBlocked, round: r}
 		}
@@ -258,81 +277,55 @@ func Run(cfg Config) (*sim.Result, error) {
 	}
 
 	var ctr metrics.Counters
-	nw, err := netsim.New(n,
-		netsim.WithSeed(uint64(cfg.Seed)^0xc2b2_ae3d_27d4_eb4f),
-		netsim.WithCounters(&ctr))
-	if err != nil {
-		return nil, err
-	}
-
+	var nw *netsim.Network
 	arrays := make([]*consensusobj.Array, n)
 	for i := range arrays {
 		arrays[i] = consensusobj.NewArray(shmem.NewMemory(), "CONS")
 	}
-
-	done := make(chan struct{})
 	outcomes := make([]outcome, n)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		id := model.ProcID(i)
-		var localCoin coin.Local
-		if cfg.LocalCoinOverride != nil {
-			localCoin = cfg.LocalCoinOverride(id)
-		} else {
-			localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
-		}
-		s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x1216_d5d9_8979_fb1b, id)
-		p := &proc{
-			id:        id,
-			n:         n,
-			graph:     cfg.Graph,
-			net:       nw,
-			arrays:    arrays,
-			local:     localCoin,
-			sched:     cfg.Crashes,
-			ctr:       &ctr,
-			done:      done,
-			rng:       rand.New(rand.NewPCG(s1, s2)),
-			maxRounds: cfg.MaxRounds,
-			pending:   make(map[phaseKey][]model.Value),
-		}
-		proposal := cfg.Proposals[i]
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			outcomes[p.id] = p.run(proposal)
-			nw.CloseInbox(p.id)
-		}(p)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0xc2b2_ae3d_27d4_eb4f, &ctr, cfg.MinDelay, cfg.MaxDelay),
+		func(i int, h *driver.Handle) {
+			id := model.ProcID(i)
+			var localCoin coin.Local
+			if cfg.LocalCoinOverride != nil {
+				localCoin = cfg.LocalCoinOverride(id)
+			} else {
+				localCoin = coin.NewPRNGLocal(coin.DeriveLocalSeed(cfg.Seed, id))
+			}
+			s1, s2 := coin.DeriveLocalSeed(cfg.Seed^0x1216_d5d9_8979_fb1b, id)
+			p := &proc{
+				id:        id,
+				n:         n,
+				graph:     cfg.Graph,
+				net:       nw,
+				arrays:    arrays,
+				local:     localCoin,
+				sched:     cfg.Crashes,
+				ctr:       &ctr,
+				h:         h,
+				rng:       rand.New(rand.NewPCG(s1, s2)),
+				maxRounds: cfg.MaxRounds,
+				pending:   make(map[phaseKey][]model.Value),
+			}
+			outcomes[i] = p.run(cfg.Proposals[i])
+		})
+	if err != nil {
+		return nil, err
 	}
-
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	timer := time.NewTimer(timeout)
-	select {
-	case <-finished:
-		timer.Stop()
-	case <-timer.C:
-		close(done)
-		<-finished
-	}
-	elapsed := time.Since(start)
-	nw.Shutdown()
 
 	res := &sim.Result{
 		Procs:           make([]sim.ProcResult, n),
 		Metrics:         ctr.Read(),
 		ConsInvocations: make([]int64, n),
 		ConsAllocations: make([]int64, n),
-		Elapsed:         elapsed,
 	}
+	out.Fill(res)
 	for i, o := range outcomes {
 		if o.status == sim.StatusFailed {
 			return nil, fmt.Errorf("%w: %v", ErrInvariantBroken, o.err)

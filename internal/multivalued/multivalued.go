@@ -29,11 +29,11 @@ package multivalued
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"allforone/internal/coin"
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
@@ -49,8 +49,14 @@ type Config struct {
 	// Proposals holds each process's proposed value (required, length n).
 	// Values may repeat; the empty string is a valid proposal.
 	Proposals []string
-	// Seed makes all randomness reproducible.
+	// Seed makes all randomness reproducible. Under sim.EngineVirtual it
+	// pins the entire execution.
 	Seed int64
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic discrete-event simulation — same
+	// Config, same Result). sim.EngineRealtime keeps the original
+	// goroutine-per-process backend for differential testing.
+	Engine sim.Engine
 	// Crashes is the failure pattern; crash points are consulted at the
 	// start of every binary round, with Round counting binary rounds
 	// globally across instances. Nil means crash-free.
@@ -59,12 +65,22 @@ type Config struct {
 	MaxInstances int
 	// MaxRoundsPerInstance bounds each binary instance (0 = 1000).
 	MaxRoundsPerInstance int
-	// Timeout aborts blocked runs; zero means DefaultTimeout.
+	// Timeout aborts blocked realtime-engine runs; zero means
+	// DefaultTimeout. The virtual engine detects blocked runs by
+	// quiescence instead and ignores this field.
 	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run;
+	// zero means unbounded (quiescence and MaxSteps still apply).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of discrete events of an EngineVirtual
+	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
+	MaxSteps int64
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
 }
 
 // DefaultTimeout bounds runs whose liveness condition may not hold.
-const DefaultTimeout = 30 * time.Second
+const DefaultTimeout = driver.DefaultTimeout
 
 // Errors returned by Run.
 var ErrBadConfig = errors.New("multivalued: invalid configuration")
@@ -80,7 +96,15 @@ type ProcResult struct {
 type Result struct {
 	Procs   []ProcResult
 	Metrics metrics.Snapshot
+	// Elapsed is wall-clock under the realtime engine, virtual-clock under
+	// the virtual engine (equal to VirtualTime, so virtual Results are
+	// bit-reproducible from their Configs).
 	Elapsed time.Duration
+	// VirtualTime / Steps / Quiesced report the virtual engine's clock,
+	// event count, and deterministic blocked-forever verdict (see sim.Result).
+	VirtualTime time.Duration
+	Steps       int64
+	Quiesced    bool
 }
 
 // Decided returns the decided value and how many processes decided it.
@@ -196,7 +220,7 @@ type proc struct {
 	seed    int64
 	sched   *failures.Schedule
 	ctr     *metrics.Counters
-	done    <-chan struct{}
+	h       *driver.Handle // the engine's abort/kill state
 	maxInst int
 	maxRnd  int
 
@@ -293,13 +317,11 @@ func (p *proc) binaryInstance(inst int, input model.Value) (model.Value, *outcom
 	est := input
 	for r := 1; ; r++ {
 		p.globalRound++
-		if p.maxRnd > 0 && r > p.maxRnd {
-			return model.Bot, &outcome{status: sim.StatusBlocked, rounds: p.globalRound}
+		if p.h.Killed() {
+			return model.Bot, &outcome{status: sim.StatusCrashed, rounds: p.globalRound}
 		}
-		select {
-		case <-p.done:
+		if p.h.Aborted() || (p.maxRnd > 0 && r > p.maxRnd) {
 			return model.Bot, &outcome{status: sim.StatusBlocked, rounds: p.globalRound}
-		default:
 		}
 		if p.sched.ShouldCrash(p.id, failures.Point{
 			Round: p.globalRound, Phase: 1, Stage: failures.StageRoundStart,
@@ -323,7 +345,12 @@ func (p *proc) binaryInstance(inst int, input model.Value) (model.Value, *outcom
 			if v, ok := p.binDecided[inst]; ok {
 				return v, nil
 			}
-			msg, ok := p.net.Receive(p.id, p.done)
+			msg, ok := p.net.Receive(p.id, p.h.Done())
+			if p.h.Killed() {
+				// A timed crash struck while waiting: halt before acting on
+				// whatever was (or was not) received.
+				return model.Bot, &outcome{status: sim.StatusCrashed, rounds: p.globalRound}
+			}
 			if !ok {
 				return model.Bot, &outcome{status: sim.StatusBlocked, rounds: p.globalRound}
 			}
@@ -387,7 +414,10 @@ func (p *proc) run(proposal string) outcome {
 				p.net.Broadcast(p.id, mvDecideMsg{Val: v})
 				return outcome{status: sim.StatusDecided, val: v, rounds: p.globalRound}
 			}
-			msg, ok := p.net.Receive(p.id, p.done)
+			msg, ok := p.net.Receive(p.id, p.h.Done())
+			if p.h.Killed() {
+				return outcome{status: sim.StatusCrashed, rounds: p.globalRound}
+			}
 			if !ok {
 				return outcome{status: sim.StatusBlocked, rounds: p.globalRound}
 			}
@@ -410,12 +440,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var ctr metrics.Counters
-	nw, err := netsim.New(n,
-		netsim.WithSeed(uint64(cfg.Seed)^0x60be_e2be_e120_fc15),
-		netsim.WithCounters(&ctr))
-	if err != nil {
-		return nil, err
-	}
+	var nw *netsim.Network
 	arrays := make([]*consensusobj.Array, cfg.Partition.M())
 	for x := range arrays {
 		arrays[x] = consensusobj.NewArray(shmem.NewMemory(), "MVCONS")
@@ -430,60 +455,44 @@ func Run(cfg Config) (*Result, error) {
 		maxRnd = 1000
 	}
 
-	done := make(chan struct{})
 	outcomes := make([]outcome, n)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		id := model.ProcID(i)
-		p := &proc{
-			id:          id,
-			part:        cfg.Partition,
-			net:         nw,
-			cons:        arrays[cfg.Partition.ClusterOf(id)],
-			seed:        cfg.Seed,
-			sched:       cfg.Crashes,
-			ctr:         &ctr,
-			done:        done,
-			maxInst:     maxInst,
-			maxRnd:      maxRnd,
-			delivered:   make(map[model.ProcID]string, n),
-			binDecided:  make(map[int]model.Value),
-			pendingInst: make(map[instKey][]pendingInstMsg),
-		}
-		proposal := cfg.Proposals[i]
-		wg.Add(1)
-		go func(p *proc) {
-			defer wg.Done()
-			outcomes[p.id] = p.run(proposal)
-			nw.CloseInbox(p.id)
-		}(p)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x60be_e2be_e120_fc15, &ctr, cfg.MinDelay, cfg.MaxDelay),
+		func(i int, h *driver.Handle) {
+			id := model.ProcID(i)
+			p := &proc{
+				id:          id,
+				part:        cfg.Partition,
+				net:         nw,
+				cons:        arrays[cfg.Partition.ClusterOf(id)],
+				seed:        cfg.Seed,
+				sched:       cfg.Crashes,
+				ctr:         &ctr,
+				h:           h,
+				maxInst:     maxInst,
+				maxRnd:      maxRnd,
+				delivered:   make(map[model.ProcID]string, n),
+				binDecided:  make(map[int]model.Value),
+				pendingInst: make(map[instKey][]pendingInstMsg),
+			}
+			outcomes[i] = p.run(cfg.Proposals[i])
+		})
+	if err != nil {
+		return nil, err
 	}
-
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	timer := time.NewTimer(timeout)
-	select {
-	case <-finished:
-		timer.Stop()
-	case <-timer.C:
-		close(done)
-		<-finished
-	}
-	elapsed := time.Since(start)
-	nw.Shutdown()
 
 	res := &Result{
-		Procs:   make([]ProcResult, n),
-		Metrics: ctr.Read(),
-		Elapsed: elapsed,
+		Procs:       make([]ProcResult, n),
+		Metrics:     ctr.Read(),
+		Elapsed:     out.Elapsed,
+		VirtualTime: out.VirtualTime,
+		Steps:       out.Steps,
+		Quiesced:    out.Quiesced,
 	}
 	for i, o := range outcomes {
 		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Rounds: o.rounds}

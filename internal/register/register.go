@@ -24,6 +24,13 @@
 // of processes — so the register, like the paper's consensus, tolerates a
 // majority of crashes when a majority cluster keeps one member alive.
 // Classic ABD instead requires a majority of correct processes.
+//
+// The package has two entry points: Run (run.go) executes a scripted
+// workload on the unified engine driver — deterministic under the default
+// virtual engine, with blocked operations detected by quiescence — and is
+// what the harness and replay tests use; System (this file) is the
+// interactive realtime deployment kept for concurrent linearizability
+// tests, where real goroutine races are the point.
 package register
 
 import (

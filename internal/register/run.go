@@ -1,0 +1,399 @@
+package register
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"allforone/internal/driver"
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/shmem"
+	"allforone/internal/sim"
+)
+
+// This file is the register's closed-run entry point on the unified engine
+// driver (internal/driver): each process executes a scripted sequence of
+// read/write operations while serving its cluster's share of the ABD
+// protocol, on either engine. Under the default virtual engine a run is a
+// pure function of its Config — same seed, same Result, bit for bit — and
+// an operation that can never reach a qualifying majority ends as blocked
+// at quiescence instead of a wall-clock timeout. The interactive System
+// (register.go) remains the realtime deployment surface for concurrent
+// linearizability tests.
+
+// OpKind selects a register operation.
+type OpKind int
+
+// The two register operations.
+const (
+	OpWrite OpKind = iota + 1
+	OpRead
+)
+
+// String names the operation kind.
+func (k OpKind) String() string {
+	switch k {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	}
+	return fmt.Sprintf("OpKind(%d)", int(k))
+}
+
+// Op is one scripted register operation.
+type Op struct {
+	// Kind is OpWrite or OpRead.
+	Kind OpKind
+	// Val is the value to write (OpWrite only).
+	Val string
+	// After delays the start of the operation relative to the end of the
+	// previous one: virtual time under the virtual engine (free), wall time
+	// under the realtime engine. It is how scripts order operations across
+	// processes (e.g. "read after the others crashed").
+	After time.Duration
+}
+
+// WriteOp returns a write operation.
+func WriteOp(val string) Op { return Op{Kind: OpWrite, Val: val} }
+
+// ReadOp returns a read operation.
+func ReadOp() Op { return Op{Kind: OpRead} }
+
+// OpResult is the outcome of one scripted operation.
+type OpResult struct {
+	Kind OpKind
+	// Val is the value read (OpRead) or written (OpWrite).
+	Val string
+	// OK reports whether the operation completed. Operations after the
+	// first failed one are not attempted and absent from the results.
+	OK bool
+}
+
+// ProcResult is one process's view of a scripted run. Status uses the
+// shared vocabulary: StatusDecided = the whole script completed (even if
+// the process crashed afterwards while serving others), StatusCrashed = a
+// timed crash struck mid-script, StatusBlocked = the run was aborted
+// (quiescence, bounds, or realtime timeout) before the script completed.
+type ProcResult struct {
+	Status sim.Status
+	Ops    []OpResult
+}
+
+// Result aggregates a scripted register run.
+type Result struct {
+	Procs   []ProcResult
+	Metrics metrics.Snapshot
+	// Elapsed is wall-clock under the realtime engine, virtual-clock under
+	// the virtual engine (equal to VirtualTime, so virtual Results are
+	// bit-reproducible from their Configs).
+	Elapsed time.Duration
+	// VirtualTime / Steps / Quiesced report the virtual engine's clock,
+	// event count, and quiescence verdict. NOTE: unlike consensus runs,
+	// Quiesced=true is the NORMAL end of a register run with crashed
+	// processes (survivors park in their serve loops once every live
+	// script finished); a blocked OPERATION shows up as OK=false /
+	// StatusBlocked on the process, not at the run level.
+	VirtualTime time.Duration
+	Steps       int64
+	Quiesced    bool
+}
+
+// Config describes one scripted register execution.
+type Config struct {
+	// Partition is the cluster decomposition (required).
+	Partition *model.Partition
+	// Scripts holds each process's operation sequence (required, length n;
+	// empty scripts are fine — such processes only serve).
+	Scripts [][]Op
+	// Seed makes all randomness (message delays) reproducible. Under
+	// sim.EngineVirtual it pins the entire execution.
+	Seed int64
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual.
+	Engine sim.Engine
+	// Crashes supplies timed crashes (failures.Schedule.SetTimed): the
+	// victim stops operating and serving at the instant. Step-point crash
+	// plans are not meaningful for register runs and are ignored.
+	Crashes *failures.Schedule
+	// Timeout aborts blocked realtime-engine runs; zero means
+	// driver.DefaultTimeout. The virtual engine detects blocked runs by
+	// quiescence instead and ignores this field.
+	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run;
+	// zero means unbounded (quiescence and MaxSteps still apply).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of discrete events of an EngineVirtual
+	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
+	MaxSteps int64
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
+}
+
+// ErrBadConfig reports an invalid scripted-run configuration.
+var ErrBadConfig = errors.New("register: invalid configuration")
+
+// doneMsg announces that the sender finished its script (it keeps serving
+// until every live process announced the same, so late operations still
+// find responders).
+type doneMsg struct{}
+
+// mergeInto folds pair into a cluster cell (max-timestamp wins) as a CAS
+// retry loop — lock-free, no blocking, exactly System.merge.
+func mergeInto(cell *shmem.CASRegister[tagged], pair tagged) {
+	for {
+		cur := cell.Read()
+		if !cur.TS.Less(pair.TS) {
+			return
+		}
+		if cell.CompareAndSwap(cur, pair) {
+			return
+		}
+	}
+}
+
+// client is one process of a scripted run: an ABD client for its own
+// operations and a server for everyone else's, multiplexed over a single
+// inbox (so the whole process is one coroutine under the virtual engine).
+type client struct {
+	id    model.ProcID
+	part  *model.Partition
+	net   *netsim.Network
+	cells []*shmem.CASRegister[tagged] // one per cluster
+	h     *driver.Handle
+	seq   int64
+
+	doneFrom *model.ProcSet // processes whose scripts finished
+	live     *model.ProcSet // processes expected to announce doneMsg
+
+	status sim.Status
+	ops    []OpResult
+}
+
+// cellOf returns the memory cell of p's cluster.
+func (c *client) cellOf(p model.ProcID) *shmem.CASRegister[tagged] {
+	return c.cells[c.part.ClusterOf(p)]
+}
+
+// serve handles one server-side or bookkeeping message. It returns the
+// payload and sender when the message is an acknowledgment for this
+// client's own collection, and ok=false otherwise.
+func (c *client) serve(msg netsim.Message) (payload any, from model.ProcID, isAck bool) {
+	switch m := msg.Payload.(type) {
+	case queryMsg:
+		cur := c.cellOf(c.id).Read()
+		c.net.Send(c.id, msg.From, queryAck{Seq: m.Seq, Cur: cur})
+	case updateMsg:
+		mergeInto(c.cellOf(c.id), m.Pair)
+		c.net.Send(c.id, msg.From, updateAck{Seq: m.Seq})
+	case doneMsg:
+		c.doneFrom.Add(msg.From)
+	case queryAck, updateAck:
+		return msg.Payload, msg.From, true
+	}
+	return nil, 0, false
+}
+
+// collectQuery broadcasts a query and waits until the cluster closure of
+// responders covers a majority, returning the maximum (ts, value) seen.
+// ok=false means the run aborted or a timed crash struck.
+func (c *client) collectQuery() (tagged, bool) {
+	c.seq++
+	seq := c.seq
+	c.net.Broadcast(c.id, queryMsg{Seq: seq})
+	covered := model.NewProcSet(c.part.N())
+	// Own cluster answers locally: shared memory needs no message. This is
+	// what lets a lone majority-cluster member finish instantly.
+	best := c.cellOf(c.id).Read()
+	covered.UnionInto(c.part.Cluster(c.id))
+	for !covered.IsMajority() {
+		msg, ok := c.net.Receive(c.id, c.h.Done())
+		if c.h.Killed() || !ok {
+			return tagged{}, false
+		}
+		payload, from, isAck := c.serve(msg)
+		if !isAck {
+			continue
+		}
+		if ack, ok := payload.(queryAck); ok && ack.Seq == seq {
+			if best.TS.Less(ack.Cur.TS) {
+				best = ack.Cur
+			}
+			covered.UnionInto(c.part.Cluster(from))
+		}
+	}
+	return best, true
+}
+
+// collectUpdate broadcasts an update and waits for closure-majority acks.
+func (c *client) collectUpdate(pair tagged) bool {
+	c.seq++
+	seq := c.seq
+	c.net.Broadcast(c.id, updateMsg{Seq: seq, Pair: pair})
+	covered := model.NewProcSet(c.part.N())
+	// Local merge: own cluster's cell is updated without messages.
+	mergeInto(c.cellOf(c.id), pair)
+	covered.UnionInto(c.part.Cluster(c.id))
+	for !covered.IsMajority() {
+		msg, ok := c.net.Receive(c.id, c.h.Done())
+		if c.h.Killed() || !ok {
+			return false
+		}
+		payload, from, isAck := c.serve(msg)
+		if !isAck {
+			continue
+		}
+		if ack, ok := payload.(updateAck); ok && ack.Seq == seq {
+			covered.UnionInto(c.part.Cluster(from))
+		}
+	}
+	return true
+}
+
+// fail records the failure status of an interrupted operation.
+func (c *client) fail(op Op) {
+	if c.h.Killed() {
+		c.status = sim.StatusCrashed
+	} else {
+		c.status = sim.StatusBlocked
+	}
+	c.ops = append(c.ops, OpResult{Kind: op.Kind, Val: op.Val, OK: false})
+}
+
+// allLiveDone reports whether every live process announced script
+// completion.
+func (c *client) allLiveDone() bool {
+	for p := 0; p < c.part.N(); p++ {
+		pid := model.ProcID(p)
+		if c.live.Contains(pid) && !c.doneFrom.Contains(pid) {
+			return false
+		}
+	}
+	return true
+}
+
+// run executes the script, then serves until every live process finished.
+func (c *client) run(script []Op) {
+	for _, op := range script {
+		if op.After > 0 && !c.h.Sleep(op.After) {
+			c.fail(op)
+			return
+		}
+		if c.h.Killed() {
+			c.fail(op)
+			return
+		}
+		cur, ok := c.collectQuery()
+		if !ok {
+			c.fail(op)
+			return
+		}
+		switch op.Kind {
+		case OpWrite:
+			next := tagged{TS: Timestamp{Counter: cur.TS.Counter + 1, Writer: c.id}, Val: op.Val}
+			if !c.collectUpdate(next) {
+				c.fail(op)
+				return
+			}
+			c.ops = append(c.ops, OpResult{Kind: OpWrite, Val: op.Val, OK: true})
+		case OpRead:
+			// Write-back (ABD repair): ensure the value is majority-replicated
+			// before returning, so later reads cannot observe older state.
+			if !c.collectUpdate(cur) {
+				c.fail(op)
+				return
+			}
+			c.ops = append(c.ops, OpResult{Kind: OpRead, Val: cur.Val, OK: true})
+		}
+	}
+	c.status = sim.StatusDecided
+	// Script done: announce it (the broadcast loops back to us) and keep
+	// serving so other processes' operations still find responders.
+	c.net.Broadcast(c.id, doneMsg{})
+	for !c.allLiveDone() {
+		msg, ok := c.net.Receive(c.id, c.h.Done())
+		if c.h.Killed() || !ok {
+			return // status stays Decided: the script itself completed
+		}
+		c.serve(msg)
+	}
+}
+
+// Run executes one scripted register run under the configured engine.
+func Run(cfg Config) (*Result, error) {
+	if cfg.Partition == nil {
+		return nil, fmt.Errorf("%w: nil partition", ErrBadConfig)
+	}
+	n := cfg.Partition.N()
+	if len(cfg.Scripts) != n {
+		return nil, fmt.Errorf("%w: %d scripts for %d processes", ErrBadConfig, len(cfg.Scripts), n)
+	}
+	for i, script := range cfg.Scripts {
+		for j, op := range script {
+			if op.Kind != OpWrite && op.Kind != OpRead {
+				return nil, fmt.Errorf("%w: script %d op %d has kind %d", ErrBadConfig, i, j, int(op.Kind))
+			}
+			if op.After < 0 {
+				return nil, fmt.Errorf("%w: script %d op %d has negative After", ErrBadConfig, i, j)
+			}
+		}
+	}
+
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	cells := make([]*shmem.CASRegister[tagged], cfg.Partition.M())
+	for x := range cells {
+		cells[x] = shmem.NewCASRegister(tagged{})
+	}
+	// Processes scheduled to crash never announce completion; survivors
+	// stop serving once every other process announced.
+	live := model.NewProcSet(n)
+	crashed := cfg.Crashes.Crashed()
+	for p := 0; p < n; p++ {
+		if !crashed.Contains(model.ProcID(p)) {
+			live.Add(model.ProcID(p))
+		}
+	}
+
+	clients := make([]*client, n)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x5ca1_ab1e, &ctr, cfg.MinDelay, cfg.MaxDelay),
+		func(i int, h *driver.Handle) {
+			c := &client{
+				id:       model.ProcID(i),
+				part:     cfg.Partition,
+				net:      nw,
+				cells:    cells,
+				h:        h,
+				doneFrom: model.NewProcSet(n),
+				live:     live,
+				status:   sim.StatusBlocked, // until the script completes
+			}
+			clients[i] = c
+			c.run(cfg.Scripts[i])
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	res := &Result{
+		Procs:       make([]ProcResult, n),
+		Metrics:     ctr.Read(),
+		Elapsed:     out.Elapsed,
+		VirtualTime: out.VirtualTime,
+		Steps:       out.Steps,
+		Quiesced:    out.Quiesced,
+	}
+	for i, c := range clients {
+		res.Procs[i] = ProcResult{Status: c.status, Ops: c.ops}
+	}
+	return res, nil
+}

@@ -1,0 +1,70 @@
+package shconsensus
+
+import (
+	"reflect"
+	"testing"
+
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/sim"
+)
+
+// TestReplayBitReproducible pins the virtual-engine determinism contract
+// for the shared-memory baseline: identical Configs yield identical
+// Results — in particular, the same process deterministically wins the CAS.
+func TestReplayBitReproducible(t *testing.T) {
+	t.Parallel()
+	sched, err := failures.CrashAllExcept(6,
+		failures.Point{Round: 1, Phase: 1, Stage: failures.StageRoundStart}, 2, 4, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		N:         6,
+		Proposals: []model.Value{model.One, model.Zero, model.Zero, model.One, model.One, model.Zero},
+		Crashes:   sched,
+	}
+	res1, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(res1, res2) {
+		t.Errorf("Results diverged:\n  run1: %+v\n  run2: %+v", res1, res2)
+	}
+	// Under the virtual engine the first live process — ProcID 2, whose
+	// Proposals[2] is 0 — wins the CAS, deterministically.
+	if v, _, ok := res1.Decided(); !ok || v != model.Zero {
+		t.Errorf("decided %v, want first live process's 0: %+v", v, res1.Procs)
+	}
+}
+
+// TestEnginesAgreeOnSafety differentially tests the two engines: both must
+// satisfy agreement, validity, and wait-free termination; the realtime
+// winner is racy, but safety must hold.
+func TestEnginesAgreeOnSafety(t *testing.T) {
+	t.Parallel()
+	for _, engine := range []sim.Engine{sim.EngineVirtual, sim.EngineRealtime} {
+		const n = 8
+		props := make([]model.Value, n)
+		for i := range props {
+			props[i] = model.Value(int8(i % 2))
+		}
+		res, err := Run(Config{N: n, Proposals: props, Engine: engine})
+		if err != nil {
+			t.Fatalf("%v: %v", engine, err)
+		}
+		if err := res.CheckAgreement(); err != nil {
+			t.Errorf("%v: %v", engine, err)
+		}
+		if err := res.CheckValidity(props); err != nil {
+			t.Errorf("%v: %v", engine, err)
+		}
+		if !res.AllLiveDecided() {
+			t.Errorf("%v: not all decided: %+v", engine, res.Procs)
+		}
+	}
+}

@@ -5,16 +5,19 @@
 // number of crashes.
 //
 // It serves as the efficiency anchor of the experiments: one shared-memory
-// operation per process, zero messages, zero rounds of exchange.
+// operation per process, zero messages, zero rounds of exchange. Like every
+// runner in the repository it executes through internal/driver: under the
+// default virtual engine the processes are cooperatively stepped coroutines
+// (so the first spawned live process deterministically wins the CAS), under
+// the realtime engine they are racing goroutines.
 package shconsensus
 
 import (
 	"errors"
 	"fmt"
-	"sync"
-	"time"
 
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
@@ -27,8 +30,15 @@ type Config struct {
 	N int
 	// Proposals holds each process's binary proposal (required, length N).
 	Proposals []model.Value
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic: the first live process's proposal
+	// wins). sim.EngineRealtime races goroutines on the CAS object.
+	Engine sim.Engine
 	// Crashes marks processes that crash before proposing: any process with
 	// a plan whose point is at round 1 crashes before touching the object.
+	// Timed crashes are effectively meaningless here — the whole run is
+	// instantaneous (every propose happens at virtual time zero, before
+	// any timed instant can fire), so use step-point plans instead.
 	Crashes *failures.Schedule
 }
 
@@ -54,25 +64,27 @@ func Run(cfg Config) (*sim.Result, error) {
 	var ctr metrics.Counters
 	obj := consensusobj.NewCAS()
 	res := &sim.Result{Procs: make([]sim.ProcResult, cfg.N)}
-	start := time.Now()
-	var wg sync.WaitGroup
-	for i := 0; i < cfg.N; i++ {
-		id := model.ProcID(i)
-		if cfg.Crashes.ShouldCrash(id, failures.Point{Round: 1, Phase: 1, Stage: failures.StageBeforeDecide}) {
-			res.Procs[i] = sim.ProcResult{Status: sim.StatusCrashed, Round: 1}
-			continue
-		}
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
+	out, err := driver.Run(driver.Config{Engine: cfg.Engine, Crashes: cfg.Crashes}, cfg.N, nil,
+		func(i int, h *driver.Handle) {
+			id := model.ProcID(i)
+			// h.Killed() is a realtime-engine best-effort check; under the
+			// virtual engine bodies run before any timed instant (see the
+			// Crashes doc above).
+			if h.Killed() || cfg.Crashes.ShouldCrash(id, failures.Point{
+				Round: 1, Phase: 1, Stage: failures.StageBeforeDecide,
+			}) {
+				res.Procs[i] = sim.ProcResult{Status: sim.StatusCrashed, Round: 1}
+				return
+			}
 			v := obj.Propose(cfg.Proposals[i])
 			ctr.AddConsInvocations(1)
 			ctr.ObserveRound(1)
 			res.Procs[i] = sim.ProcResult{Status: sim.StatusDecided, Decision: v, Round: 1}
-		}(i)
+		})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
-	res.Elapsed = time.Since(start)
+	out.Fill(res)
 	res.Metrics = ctr.Read()
 	res.ConsInvocations = []int64{res.Metrics.ConsInvocations}
 	res.ConsAllocations = []int64{1}

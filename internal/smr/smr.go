@@ -9,20 +9,22 @@
 // one proposal; all live replicas append the same value. Agreement across
 // the whole log follows from per-slot agreement plus in-order processing.
 //
-// The runtime is one goroutine per replica over a shared simulated
-// network, with all protocol messages tagged by (slot, instance, round) so
-// replicas at different log positions never confuse each other's traffic;
-// per-slot and per-instance DECIDE short-circuits let stragglers catch up.
+// The runtime is one process per replica over a shared simulated network
+// (a vclock coroutine under the default virtual engine, a goroutine under
+// the realtime one — see internal/driver), with all protocol messages
+// tagged by (slot, instance, round) so replicas at different log positions
+// never confuse each other's traffic; per-slot and per-instance DECIDE
+// short-circuits let stragglers catch up.
 package smr
 
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"time"
 
 	"allforone/internal/coin"
 	"allforone/internal/consensusobj"
+	"allforone/internal/driver"
 	"allforone/internal/failures"
 	"allforone/internal/metrics"
 	"allforone/internal/model"
@@ -40,19 +42,35 @@ type Config struct {
 	Commands [][]string
 	// Slots is how many log slots to agree on (required, ≥ 1).
 	Slots int
-	// Seed makes all randomness reproducible.
+	// Seed makes all randomness reproducible. Under sim.EngineVirtual it
+	// pins the entire execution.
 	Seed int64
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic discrete-event simulation — same
+	// Config, same Result). sim.EngineRealtime keeps the original
+	// goroutine-per-replica backend for differential testing.
+	Engine sim.Engine
 	// Crashes is the failure pattern; crash points are consulted at binary
 	// round starts with Round counting rounds globally. Nil = crash-free.
 	Crashes *failures.Schedule
 	// MaxRoundsPerInstance bounds each binary instance (0 = 1000).
 	MaxRoundsPerInstance int
-	// Timeout aborts blocked runs; zero means DefaultTimeout.
+	// Timeout aborts blocked realtime-engine runs; zero means
+	// DefaultTimeout. The virtual engine detects blocked runs by
+	// quiescence instead and ignores this field.
 	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock of an EngineVirtual run;
+	// zero means unbounded (quiescence and MaxSteps still apply).
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the number of discrete events of an EngineVirtual
+	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
+	MaxSteps int64
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
 }
 
 // DefaultTimeout bounds runs whose liveness condition may not hold.
-const DefaultTimeout = 30 * time.Second
+const DefaultTimeout = driver.DefaultTimeout
 
 // NoOp is the value a slot decides when the winning proposer had no
 // pending command.
@@ -72,7 +90,15 @@ type ReplicaResult struct {
 type Result struct {
 	Replicas []ReplicaResult
 	Metrics  metrics.Snapshot
-	Elapsed  time.Duration
+	// Elapsed is wall-clock under the realtime engine, virtual-clock under
+	// the virtual engine (equal to VirtualTime, so virtual Results are
+	// bit-reproducible from their Configs).
+	Elapsed time.Duration
+	// VirtualTime / Steps / Quiesced report the virtual engine's clock,
+	// event count, and deterministic blocked-forever verdict (see sim.Result).
+	VirtualTime time.Duration
+	Steps       int64
+	Quiesced    bool
 }
 
 // CheckLogAgreement verifies that all replica logs agree slot-by-slot on
@@ -184,7 +210,7 @@ type replica struct {
 	seed    int64
 	sched   *failures.Schedule
 	ctr     *metrics.Counters
-	done    <-chan struct{}
+	h       *driver.Handle // the engine's abort/kill state
 	maxRnd  int
 	queue   []string
 	slots   int
@@ -281,13 +307,11 @@ func (r *replica) binaryInstance(slot, inst int, input model.Value) (model.Value
 	est := input
 	for round := 1; ; round++ {
 		r.globalRound++
-		if r.maxRnd > 0 && round > r.maxRnd {
-			return model.Bot, &outcome{status: sim.StatusBlocked, log: r.log, rounds: r.globalRound}
+		if r.h.Killed() {
+			return model.Bot, &outcome{status: sim.StatusCrashed, log: r.log, rounds: r.globalRound}
 		}
-		select {
-		case <-r.done:
+		if r.h.Aborted() || (r.maxRnd > 0 && round > r.maxRnd) {
 			return model.Bot, &outcome{status: sim.StatusBlocked, log: r.log, rounds: r.globalRound}
-		default:
 		}
 		if r.sched.ShouldCrash(r.id, failures.Point{
 			Round: r.globalRound, Phase: 1, Stage: failures.StageRoundStart,
@@ -312,7 +336,12 @@ func (r *replica) binaryInstance(slot, inst int, input model.Value) (model.Value
 				// no longer matters.
 				return model.Bot, nil
 			}
-			msg, ok := r.net.Receive(r.id, r.done)
+			msg, ok := r.net.Receive(r.id, r.h.Done())
+			if r.h.Killed() {
+				// A timed crash struck while waiting: halt before acting on
+				// whatever was (or was not) received.
+				return model.Bot, &outcome{status: sim.StatusCrashed, log: r.log, rounds: r.globalRound}
+			}
 			if !ok {
 				return model.Bot, &outcome{status: sim.StatusBlocked, log: r.log, rounds: r.globalRound}
 			}
@@ -396,7 +425,10 @@ func (r *replica) agreeSlot(slot int, proposal string) (string, *outcome) {
 			if v, ok := r.slotDecided[slot]; ok {
 				return v, nil
 			}
-			msg, ok := r.net.Receive(r.id, r.done)
+			msg, ok := r.net.Receive(r.id, r.h.Done())
+			if r.h.Killed() {
+				return "", &outcome{status: sim.StatusCrashed, log: r.log, rounds: r.globalRound}
+			}
 			if !ok {
 				return "", &outcome{status: sim.StatusBlocked, log: r.log, rounds: r.globalRound}
 			}
@@ -439,12 +471,7 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	var ctr metrics.Counters
-	nw, err := netsim.New(n,
-		netsim.WithSeed(uint64(cfg.Seed)^0x1e7_dead_beef),
-		netsim.WithCounters(&ctr))
-	if err != nil {
-		return nil, err
-	}
+	var nw *netsim.Network
 	arrays := make([]*consensusobj.Array, cfg.Partition.M())
 	for x := range arrays {
 		arrays[x] = consensusobj.NewArray(shmem.NewMemory(), "SMRCONS")
@@ -454,63 +481,47 @@ func Run(cfg Config) (*Result, error) {
 		maxRnd = 1000
 	}
 
-	done := make(chan struct{})
 	outcomes := make([]outcome, n)
-	var wg sync.WaitGroup
-	start := time.Now()
-	for i := 0; i < n; i++ {
-		id := model.ProcID(i)
-		queue := append([]string(nil), cfg.Commands[i]...)
-		r := &replica{
-			id:          id,
-			part:        cfg.Partition,
-			net:         nw,
-			cons:        arrays[cfg.Partition.ClusterOf(id)],
-			seed:        cfg.Seed,
-			sched:       cfg.Crashes,
-			ctr:         &ctr,
-			done:        done,
-			maxRnd:      maxRnd,
-			queue:       queue,
-			slots:       cfg.Slots,
-			maxInst:     4 * n,
-			delivered:   make(map[[2]int]string),
-			binDecided:  make(map[[2]int]model.Value),
-			slotDecided: make(map[int]string),
-			pending:     make(map[posKey][]pendingMsg),
-		}
-		wg.Add(1)
-		go func(r *replica) {
-			defer wg.Done()
-			outcomes[r.id] = r.run()
-			nw.CloseInbox(r.id)
-		}(r)
+	out, err := driver.Run(driver.Config{
+		Engine:         cfg.Engine,
+		Timeout:        cfg.Timeout,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Crashes:        cfg.Crashes,
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x1e7_dead_beef, &ctr, cfg.MinDelay, cfg.MaxDelay),
+		func(i int, h *driver.Handle) {
+			id := model.ProcID(i)
+			r := &replica{
+				id:          id,
+				part:        cfg.Partition,
+				net:         nw,
+				cons:        arrays[cfg.Partition.ClusterOf(id)],
+				seed:        cfg.Seed,
+				sched:       cfg.Crashes,
+				ctr:         &ctr,
+				h:           h,
+				maxRnd:      maxRnd,
+				queue:       append([]string(nil), cfg.Commands[i]...),
+				slots:       cfg.Slots,
+				maxInst:     4 * n,
+				delivered:   make(map[[2]int]string),
+				binDecided:  make(map[[2]int]model.Value),
+				slotDecided: make(map[int]string),
+				pending:     make(map[posKey][]pendingMsg),
+			}
+			outcomes[i] = r.run()
+		})
+	if err != nil {
+		return nil, err
 	}
-
-	timeout := cfg.Timeout
-	if timeout <= 0 {
-		timeout = DefaultTimeout
-	}
-	finished := make(chan struct{})
-	go func() {
-		wg.Wait()
-		close(finished)
-	}()
-	timer := time.NewTimer(timeout)
-	select {
-	case <-finished:
-		timer.Stop()
-	case <-timer.C:
-		close(done)
-		<-finished
-	}
-	elapsed := time.Since(start)
-	nw.Shutdown()
 
 	res := &Result{
-		Replicas: make([]ReplicaResult, n),
-		Metrics:  ctr.Read(),
-		Elapsed:  elapsed,
+		Replicas:    make([]ReplicaResult, n),
+		Metrics:     ctr.Read(),
+		Elapsed:     out.Elapsed,
+		VirtualTime: out.VirtualTime,
+		Steps:       out.Steps,
+		Quiesced:    out.Quiesced,
 	}
 	for i, o := range outcomes {
 		res.Replicas[i] = ReplicaResult{Status: o.status, Log: o.log, Rounds: o.rounds}
