@@ -10,11 +10,140 @@ import (
 	"allforone/internal/model"
 	"allforone/internal/mpcoin"
 	"allforone/internal/multivalued"
+	"allforone/internal/protocol"
 	"allforone/internal/register"
 	"allforone/internal/shconsensus"
 	"allforone/internal/sim"
 	"allforone/internal/smr"
 	"allforone/internal/trace"
+)
+
+// ---------------------------------------------------------------------------
+// The Scenario API — the package's main entry point.
+//
+// A Scenario declaratively describes one run: which protocol (by registry
+// name), on which topology, with which workload, under which faults and
+// network profile, driven by which engine. Run compiles it onto the
+// registered protocol and returns a uniform Outcome. The former Solve*
+// family survives as thin deprecated wrappers below.
+
+// Scenario declaratively describes one run; see Run.
+type Scenario = protocol.Scenario
+
+// Topology is a scenario's communication structure: a cluster Partition
+// (hybrid protocols), a bare process count N (flat protocols), or an m&m
+// edge list MMEdges.
+type Topology = protocol.Topology
+
+// Workload holds a scenario's per-process inputs; only the field matching
+// the protocol's ProposalKind is consumed.
+type Workload = protocol.Workload
+
+// Bounds caps a scenario run (rounds, instances, timeouts, virtual-time
+// and step budgets).
+type Bounds = protocol.Bounds
+
+// Outcome is the uniform result of Run; ProcOutcome is one process's view.
+type (
+	Outcome     = protocol.Outcome
+	ProcOutcome = protocol.ProcOutcome
+)
+
+// Protocol is one registered consensus implementation; ProtocolInfo is its
+// registry metadata (name, proposal kind, capability flags).
+type (
+	Protocol     = protocol.Protocol
+	ProtocolInfo = protocol.Info
+)
+
+// ProposalKind classifies the workload a protocol consumes.
+type ProposalKind = protocol.ProposalKind
+
+// The four workload shapes.
+const (
+	ProposalsBinary   = protocol.ProposalsBinary
+	ProposalsValues   = protocol.ProposalsValues
+	ProposalsCommands = protocol.ProposalsCommands
+	ProposalsScripts  = protocol.ProposalsScripts
+)
+
+// Registry protocol names. Protocols() lists the full registry.
+const (
+	ProtocolHybrid      = core.ProtocolName
+	ProtocolBenOr       = benor.ProtocolName
+	ProtocolMPCoin      = mpcoin.ProtocolName
+	ProtocolSharedMem   = shconsensus.ProtocolName
+	ProtocolMM          = mm.ProtocolName
+	ProtocolMultivalued = multivalued.ProtocolName
+	ProtocolSMR         = smr.ProtocolName
+	ProtocolRegister    = register.ProtocolName
+)
+
+// Hybrid algorithm names (Scenario.Algorithm for ProtocolHybrid; empty
+// picks AlgoCommonCoin).
+const (
+	AlgoLocalCoin  = core.AlgoLocalCoin
+	AlgoCommonCoin = core.AlgoCommonCoin
+)
+
+// Run executes one scenario on the protocol registry — the entry point
+// replacing the Solve* family. Under EngineVirtual (the default) the run
+// is a pure function of the Scenario: same value, same Outcome, bit for
+// bit, whatever the network profile.
+func Run(sc Scenario) (*Outcome, error) { return protocol.Run(sc) }
+
+// Protocols returns the registry metadata of every registered protocol,
+// sorted by name.
+func Protocols() []ProtocolInfo { return protocol.Infos() }
+
+// LookupProtocol returns the protocol registered under name.
+func LookupProtocol(name string) (Protocol, bool) { return protocol.Lookup(name) }
+
+// Sweep runs many independent scenarios on a worker pool and returns
+// outcomes in input order — the bulk entry point on top of the
+// deterministic virtual engine. parallelism ≤ 0 uses all CPUs.
+func Sweep(scs []Scenario, parallelism int) ([]*Outcome, error) {
+	return harness.Sweep(scs, parallelism)
+}
+
+// NetworkProfile is a composable message-delay policy compiled per
+// topology; see the profile constructors below and DESIGN.md §8.
+type NetworkProfile = protocol.NetworkProfile
+
+// Network profile constructors.
+var (
+	// UniformProfile draws every transit time uniformly from [min, max].
+	UniformProfile = protocol.Uniform
+	// SkewMatrixProfile fixes an explicit (possibly asymmetric) n×n
+	// per-link delay matrix — fully deterministic.
+	SkewMatrixProfile = protocol.SkewMatrix
+	// DistanceSkewProfile delays i→j by base + step·|i−j|.
+	DistanceSkewProfile = protocol.DistanceSkew
+	// ClusterWANProfile models clusters as datacenters: intra-cluster
+	// uniform [0, intraMax], inter-cluster interBase + uniform [0, jitter].
+	ClusterWANProfile = protocol.ClusterWAN
+	// ClusterWANMatrixProfile is ClusterWANProfile with an asymmetric
+	// per-cluster-pair base matrix.
+	ClusterWANMatrixProfile = protocol.ClusterWANMatrix
+	// HealingPartitionProfile holds messages crossing a cut until the run
+	// clock reaches a heal instant, then delivers them.
+	HealingPartitionProfile = protocol.HealingPartition
+	// ParseProfile resolves a compact CLI spec ("uniform:1ms:5ms",
+	// "skew:100us:50us", "wan:200us:5ms:1ms", "heal:2ms:0:500us").
+	ParseProfile = protocol.ParseProfile
+)
+
+// LogSlotSep separates replicated-log slots inside an smr Outcome's
+// Decision string.
+const LogSlotSep = protocol.LogSep
+
+// ScriptOp is one scripted register operation of Workload.Scripts.
+type ScriptOp = protocol.RegisterOp
+
+// Scripted register operation constructors (Workload.Scripts).
+var (
+	ScriptWrite = protocol.WriteOp
+	ScriptRead  = protocol.ReadOp
 )
 
 // Value is a binary consensus value (0 or 1) or Bot (⊥, "no value"),
@@ -82,6 +211,10 @@ const (
 	EngineRealtime = core.EngineRealtime
 )
 
+// ParseEngine resolves an engine name as accepted by the CLIs ("virtual",
+// "realtime", and abbreviations).
+var ParseEngine = sim.ParseEngine
+
 // Config describes one hybrid consensus execution. See core.Config for
 // field documentation.
 type Config = core.Config
@@ -103,7 +236,10 @@ const (
 )
 
 // Solve runs binary consensus in the hybrid communication model and
-// returns every process's outcome. It is the package's main entry point.
+// returns every process's outcome.
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolHybrid, …}; this
+// wrapper remains for one release.
 func Solve(cfg Config) (*Result, error) { return core.Run(cfg) }
 
 // Failure injection: crash schedules and step points.
@@ -172,6 +308,8 @@ type BenOrConfig = benor.Config
 
 // SolveBenOr runs Ben-Or's algorithm (the m=n degenerate case, with plain
 // counting instead of cluster closures).
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolBenOr, …}.
 func SolveBenOr(cfg BenOrConfig) (*Result, error) { return benor.Run(cfg) }
 
 // MPCoinConfig configures the pure message-passing common-coin baseline.
@@ -179,6 +317,8 @@ type MPCoinConfig = mpcoin.Config
 
 // SolveMPCoin runs the message-passing common-coin algorithm that
 // Algorithm 3 extends.
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolMPCoin, …}.
 func SolveMPCoin(cfg MPCoinConfig) (*Result, error) { return mpcoin.Run(cfg) }
 
 // SharedMemoryConfig configures the m=1 shared-memory baseline.
@@ -186,6 +326,8 @@ type SharedMemoryConfig = shconsensus.Config
 
 // SolveSharedMemory runs single-object compare&swap consensus (wait-free,
 // tolerates any number of crashes, zero messages).
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolSharedMem, …}.
 func SolveSharedMemory(cfg SharedMemoryConfig) (*Result, error) { return shconsensus.Run(cfg) }
 
 // The m&m model comparator (Aguilera et al., PODC 2018).
@@ -206,6 +348,9 @@ var (
 
 // SolveMM runs the m&m-model consensus analog (each process touches
 // α_i + 1 consensus objects per phase; no one-for-all closure).
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolMM, …} whose
+// Topology carries the graph's edge list (Graph.EdgeList).
 func SolveMM(cfg MMConfig) (*Result, error) { return mm.Run(cfg) }
 
 // Multivalued consensus (extension beyond the paper: the classical
@@ -220,6 +365,8 @@ type (
 )
 
 // SolveMultivalued runs consensus on arbitrary string proposals.
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolMultivalued, …}.
 func SolveMultivalued(cfg MultivaluedConfig) (*MultivaluedResult, error) {
 	return multivalued.Run(cfg)
 }
@@ -269,6 +416,9 @@ var (
 )
 
 // RunRegister executes one scripted register run.
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolRegister, …}
+// whose Workload.Scripts uses ScriptWrite/ScriptRead ops.
 func RunRegister(cfg RegisterRunConfig) (*RegisterRunResult, error) { return register.Run(cfg) }
 
 // Replicated log / state machine replication (extension): a sequence of
@@ -287,6 +437,8 @@ const LogNoOp = smr.NoOp
 
 // SolveLog runs a replicated log: all live replicas build identical
 // command sequences.
+//
+// Deprecated: use Run with a Scenario{Protocol: ProtocolSMR, …}.
 func SolveLog(cfg LogConfig) (*LogResult, error) { return smr.Run(cfg) }
 
 // Experiments.
@@ -315,9 +467,10 @@ const DefaultTimeout = core.DefaultTimeout
 // Config.MaxSteps).
 const DefaultMaxSteps = core.DefaultMaxSteps
 
-// SweepConfigs runs many independent configurations on a worker pool and
-// returns results in input order — the bulk-experiment entry point on top
-// of the deterministic virtual engine. parallelism ≤ 0 uses all CPUs.
+// SweepConfigs runs many independent hybrid configurations on a worker
+// pool and returns results in input order.
+//
+// Deprecated: use Sweep with []Scenario.
 func SweepConfigs(cfgs []Config, parallelism int) ([]*Result, error) {
-	return harness.Sweep(cfgs, parallelism)
+	return harness.SweepCore(cfgs, parallelism)
 }

@@ -7,9 +7,11 @@
 //	hybridbench                 # run the full suite with default trials
 //	hybridbench -exp E2,E5      # run selected experiments
 //	hybridbench -trials 200     # more trials per cell
+//	hybridbench -json           # machine-readable per-experiment timings
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -20,6 +22,25 @@ import (
 	"allforone/internal/harness"
 	"allforone/internal/sim"
 )
+
+// jsonExperiment is one experiment's machine-readable record (-json): the
+// identity, wall-clock duration, and the keyed scalar findings the tables
+// are rendered from — the seed format for BENCH_*.json trajectory
+// tracking.
+type jsonExperiment struct {
+	ID       string             `json:"id"`
+	Title    string             `json:"title"`
+	Seconds  float64            `json:"seconds"`
+	Findings map[string]float64 `json:"findings"`
+}
+
+// jsonReport is the top-level -json document.
+type jsonReport struct {
+	Trials      int              `json:"trials"`
+	SeedBase    int64            `json:"seed_base"`
+	Engine      string           `json:"engine"`
+	Experiments []jsonExperiment `json:"experiments"`
+}
 
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
@@ -37,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		timeout  = fs.Duration("timeout", 20*time.Second, "per-run timeout (realtime engine only)")
 		engine   = fs.String("engine", "virtual", "execution engine for hybrid trials: virtual or realtime")
 		parallel = fs.Int("parallel", 0, "worker pool size for independent trials (0 = all CPUs)")
+		asJSON   = fs.Bool("json", false, "emit machine-readable per-experiment timings and findings instead of tables")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -56,6 +78,26 @@ func run(args []string, out io.Writer) error {
 	opts := harness.Options{
 		Trials: *trials, SeedBase: *seed, Timeout: *timeout,
 		Engine: eng, Parallelism: *parallel,
+	}
+
+	if *asJSON {
+		doc := jsonReport{Trials: opts.Trials, SeedBase: opts.SeedBase, Engine: eng.String()}
+		for _, id := range ids {
+			start := time.Now()
+			rep, err := harness.Run(id, opts)
+			if err != nil {
+				return fmt.Errorf("%s: %w", id, err)
+			}
+			doc.Experiments = append(doc.Experiments, jsonExperiment{
+				ID:       rep.ID,
+				Title:    rep.Title,
+				Seconds:  time.Since(start).Seconds(),
+				Findings: rep.Findings,
+			})
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		return enc.Encode(doc)
 	}
 
 	fmt.Fprintf(out, "allforone experiment suite — %d trials per cell, seed base %d\n", *trials, *seed)

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"strings"
 	"testing"
 )
@@ -30,6 +31,34 @@ func TestRunMultipleExperiments(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "E5:") || !strings.Contains(s, "E7:") {
 		t.Errorf("output missing experiments:\n%s", s)
+	}
+}
+
+func TestRunJSON(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-trials", "2", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc struct {
+		Trials      int    `json:"trials"`
+		Engine      string `json:"engine"`
+		Experiments []struct {
+			ID       string             `json:"id"`
+			Title    string             `json:"title"`
+			Seconds  float64            `json:"seconds"`
+			Findings map[string]float64 `json:"findings"`
+		} `json:"experiments"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Trials != 2 || doc.Engine != "virtual" || len(doc.Experiments) != 1 {
+		t.Fatalf("doc = %+v", doc)
+	}
+	exp := doc.Experiments[0]
+	if exp.ID != "E1" || exp.Seconds <= 0 || len(exp.Findings) == 0 {
+		t.Errorf("experiment record = %+v", exp)
 	}
 }
 

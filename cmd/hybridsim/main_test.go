@@ -1,40 +1,15 @@
 package main
 
 import (
+	"io"
+	"strings"
 	"testing"
 
-	"allforone/internal/core"
+	"allforone"
+
 	"allforone/internal/failures"
 	"allforone/internal/model"
 )
-
-func TestParseAlgo(t *testing.T) {
-	t.Parallel()
-	tests := []struct {
-		in      string
-		want    core.Algorithm
-		wantErr bool
-	}{
-		{"local", core.LocalCoin, false},
-		{"LOCAL-COIN", core.LocalCoin, false},
-		{"benor", core.LocalCoin, false},
-		{"2", core.LocalCoin, false},
-		{"common", core.CommonCoin, false},
-		{"common-coin", core.CommonCoin, false},
-		{"3", core.CommonCoin, false},
-		{"paxos", 0, true},
-	}
-	for _, tt := range tests {
-		got, err := parseAlgo(tt.in)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parseAlgo(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
-			continue
-		}
-		if !tt.wantErr && got != tt.want {
-			t.Errorf("parseAlgo(%q) = %v, want %v", tt.in, got, tt.want)
-		}
-	}
-}
 
 func TestParseProposals(t *testing.T) {
 	t.Parallel()
@@ -103,7 +78,7 @@ func TestParseStage(t *testing.T) {
 
 func TestParseCrashes(t *testing.T) {
 	t.Parallel()
-	sched, err := parseCrashes("2:1:1:mid-broadcast;5:2:2:decide", "", 7)
+	sched, err := parseCrashes("2:1:1:mid-broadcast;5:2:2:decide", "", "", 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +90,7 @@ func TestParseCrashes(t *testing.T) {
 		t.Errorf("plan for p2 = %+v, %v", plan, ok)
 	}
 
-	surv, err := parseCrashes("", "3,7", 7)
+	surv, err := parseCrashes("", "", "3,7", 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,31 +101,96 @@ func TestParseCrashes(t *testing.T) {
 		t.Error("survivors scheduled to crash")
 	}
 
-	if got, err := parseCrashes("", "", 7); err != nil || got != nil {
+	timed, err := parseCrashes("", "2:1ms;3:500us", "", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if timed.Len() != 2 || !timed.HasTimed() {
+		t.Errorf("timed Len = %d, HasTimed = %v", timed.Len(), timed.HasTimed())
+	}
+
+	if got, err := parseCrashes("", "", "", 7); err != nil || got != nil {
 		t.Errorf("empty spec = %v, %v", got, err)
 	}
 	for _, bad := range []string{"x:1:1:start", "1:y:1:start", "1:1:z:start", "1:1:1:bad", "1:1:1", "9:1:1:start"} {
-		if _, err := parseCrashes(bad, "", 7); err == nil {
+		if _, err := parseCrashes(bad, "", "", 7); err == nil {
 			t.Errorf("bad spec %q accepted", bad)
 		}
 	}
-	if _, err := parseCrashes("", "zzz", 7); err == nil {
+	for _, bad := range []string{"1", "x:1ms", "1:zzz", "9:1ms"} {
+		if _, err := parseCrashes("", bad, "", 7); err == nil {
+			t.Errorf("bad timed spec %q accepted", bad)
+		}
+	}
+	if _, err := parseCrashes("", "", "zzz", 7); err == nil {
 		t.Error("bad survivor accepted")
+	}
+}
+
+func TestParseEdges(t *testing.T) {
+	t.Parallel()
+	ring, err := parseEdges("", 5)
+	if err != nil || len(ring) != 5 {
+		t.Fatalf("default ring = %v, %v", ring, err)
+	}
+	edges, err := parseEdges("1-2;2-3", 3)
+	if err != nil || len(edges) != 2 || edges[0] != [2]int{0, 1} {
+		t.Fatalf("edges = %v, %v", edges, err)
+	}
+	for _, bad := range []string{"1", "x-2", "1-y"} {
+		if _, err := parseEdges(bad, 3); err == nil {
+			t.Errorf("bad edge spec %q accepted", bad)
+		}
 	}
 }
 
 func TestRunEndToEnd(t *testing.T) {
 	t.Parallel()
 	// The flagship scenario must succeed end to end.
+	var sb strings.Builder
 	err := run([]string{
 		"-partition", "1/2-5/6-7",
-		"-algo", "local",
+		"-algo", "local-coin",
 		"-proposals", "1111111",
 		"-crash-all-except", "3",
 		"-timeout", "10s",
-	})
+	}, &sb)
 	if err != nil {
 		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(sb.String(), "decided 1") {
+		t.Errorf("survivor did not decide:\n%s", sb.String())
+	}
+}
+
+func TestRunEveryRegisteredBinaryProtocol(t *testing.T) {
+	t.Parallel()
+	// -protocol must drive every binary-workload registry entry, with a
+	// non-uniform profile where the protocol has a network.
+	for _, info := range allforone.Protocols() {
+		if info.Proposals != allforone.ProposalsBinary {
+			continue
+		}
+		args := []string{"-protocol", info.Name, "-proposals", "1111111", "-partition", "1-3/4-5/6-7"}
+		if info.HasNetwork {
+			args = append(args, "-profile", "skew:10us:5us")
+		}
+		if err := run(args, io.Discard); err != nil {
+			t.Errorf("run(%s): %v", info.Name, err)
+		}
+	}
+}
+
+func TestRunListProtocols(t *testing.T) {
+	t.Parallel()
+	var sb strings.Builder
+	if err := run([]string{"-list-protocols"}, &sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"hybrid", "benor", "mpcoin", "shmem", "mm", "multivalued", "smr", "register"} {
+		if !strings.Contains(sb.String(), name) {
+			t.Errorf("registry listing misses %q:\n%s", name, sb.String())
+		}
 	}
 }
 
@@ -158,21 +198,17 @@ func TestRunRejectsBadFlags(t *testing.T) {
 	t.Parallel()
 	cases := [][]string{
 		{"-partition", "not-a-partition"},
-		{"-algo", "raft"},
+		{"-protocol", "raft"},
+		{"-algo", "paxos"},
 		{"-proposals", "123"},
 		{"-crash", "nonsense"},
+		{"-profile", "warp:1ms"},
+		{"-protocol", "shmem", "-profile", "uniform:0:1ms", "-proposals", "1111111"},
+		{"-protocol", "register"},
 	}
 	for _, args := range cases {
-		if err := run(args); err == nil {
+		if err := run(args, io.Discard); err == nil {
 			t.Errorf("run(%v) succeeded, want error", args)
 		}
-	}
-}
-
-func TestRenderProposals(t *testing.T) {
-	t.Parallel()
-	got := renderProposals([]model.Value{model.One, model.Zero, model.One})
-	if got != "101" {
-		t.Errorf("renderProposals = %q, want 101", got)
 	}
 }

@@ -13,58 +13,74 @@
 // asynchronous channel.
 //
 // The package provides the paper's two randomized binary consensus
-// algorithms:
+// algorithms (Algorithm 2, local coins; Algorithm 3, a common coin), its
+// comparators (pure message-passing Ben-Or and common-coin baselines,
+// single-object shared-memory consensus, a consensus analog for the m&m
+// model of Aguilera et al.), and the extension stack built on top
+// (multivalued consensus, a cluster-aware atomic register, a replicated
+// log). Both algorithms rest on the msg_exchange pattern ("one for all
+// and all for one"): a message received from one member of a cluster
+// counts as received from every member, so consensus terminates whenever
+// clusters with a surviving member cover a majority of processes — even
+// when a majority of processes crash.
 //
-//   - LocalCoin (Algorithm 2): two-phase rounds with per-process local
-//     coins — the hybrid extension of Ben-Or's algorithm.
-//   - CommonCoin (Algorithm 3): single-phase rounds with a shared coin —
-//     the hybrid extension of the Friedman–Mostéfaoui–Raynal algorithm;
-//     expected two rounds once estimates stabilize.
+// # The Scenario API
 //
-// Both rest on the msg_exchange communication pattern ("one for all and
-// all for one"): a message received from one member of a cluster counts as
-// received from every member, because the intra-cluster consensus objects
-// force all members to send the same value at the same protocol position.
-// Consequently, consensus terminates in every execution where some set of
-// clusters, each with at least one surviving process, covers a majority of
-// all processes — even when a majority of processes crash.
+// Every implementation registers itself in a protocol registry under a
+// stable name (Protocols() lists it), and one entry point runs them all:
+// declare a Scenario — protocol, topology, workload, faults, network
+// profile, engine, seed, bounds — and call Run.
+//
+//	part := allforone.Fig1Right() // n=7: {p1} {p2..p5} {p6,p7}
+//	out, err := allforone.Run(allforone.Scenario{
+//		Protocol: allforone.ProtocolHybrid,
+//		Topology: allforone.Topology{Partition: part},
+//		Workload: allforone.Workload{Binary: []allforone.Value{1, 0, 0, 0, 0, 1, 1}},
+//		Seed:     42,
+//	})
+//	if err != nil { ... }
+//	v, decided, _ := out.Decided()
+//
+// Because the description is declarative, one scenario value drives any
+// registered protocol: switch Protocol from "hybrid" to "benor" and the
+// identical topology, workload, faults and delays now exercise pure
+// message passing — which is how the registry-driven differential test
+// and the cross-protocol experiments work. The former per-protocol
+// Solve* functions remain as deprecated wrappers.
+//
+// # Network profiles
+//
+// Scenario.Profile composes the message-delay policy: UniformProfile
+// (uniform bands), SkewMatrixProfile / DistanceSkewProfile (per-link,
+// possibly asymmetric, fully deterministic skew), ClusterWANProfile
+// (datacenter clusters over an asymmetric WAN), and
+// HealingPartitionProfile (a network cut that heals at a chosen instant,
+// with held messages delivered afterwards — reliable channels, arbitrary
+// but finite transit). Profiles compile onto the simulated network per
+// topology; under the virtual engine every profile is deterministic.
 //
 // # Execution engines
 //
-// Runs execute on one of two engines (Config.Engine):
+// Runs execute on one of two engines (Scenario.Engine):
 //
 //   - EngineVirtual (default): a deterministic discrete-event simulation
 //     (internal/vclock). Message transit advances a virtual clock instead
 //     of sleeping; processes are cooperatively stepped coroutines; the
-//     whole run is a pure function of the Config, so the same Seed replays
-//     the same execution bit for bit — same Result, same trace. Blocked
-//     runs (liveness condition violated) are detected deterministically by
-//     quiescence, bounded further by Config.MaxVirtualTime and
-//     Config.MaxSteps; no wall-clock time is ever spent.
+//     whole run is a pure function of the Scenario, so the same Seed
+//     replays the same execution bit for bit — same Outcome, same trace.
+//     Blocked runs (liveness condition violated) are detected
+//     deterministically by quiescence, bounded further by
+//     Bounds.MaxVirtualTime and Bounds.MaxSteps; no wall-clock time is
+//     ever spent.
 //   - EngineRealtime: the goroutine-per-process backend. Delays sleep real
 //     time, interleavings come from the Go scheduler, stuck runs are cut
-//     off by Config.Timeout. Non-reproducible; kept as a differential
+//     off by Bounds.Timeout. Non-reproducible; kept as a differential
 //     check that the algorithms assume nothing about scheduling.
 //
 // Because virtual runs are single-threaded and never sleep, sweeps of
-// thousands of seeded configurations parallelize across cores
-// (SweepConfigs, internal/harness).
+// thousands of seeded scenarios parallelize across cores (Sweep).
 //
-// # Quick start
-//
-//	part := allforone.Fig1Right() // n=7: {p1} {p2..p5} {p6,p7}
-//	res, err := allforone.Solve(allforone.Config{
-//		Partition: part,
-//		Proposals: []allforone.Value{1, 0, 0, 0, 0, 1, 1},
-//		Algorithm: allforone.CommonCoin,
-//		Seed:      42,
-//	})
-//	if err != nil { ... }
-//	v, decided, _ := res.Decided()
-//
-// The package also exposes the paper's comparators — pure message-passing
-// Ben-Or, a message-passing common-coin algorithm, single-object shared-
-// memory consensus, and a consensus analog for the m&m model of Aguilera
-// et al. (PODC 2018) — plus the experiment harness that regenerates every
-// figure and quantitative claim of the paper (see EXPERIMENTS.md).
+// The experiment harness regenerating every figure and quantitative claim
+// of the paper runs on the same registry (see EXPERIMENTS.md and
+// DESIGN.md §8 for the Scenario/registry/NetworkProfile contract).
 package allforone

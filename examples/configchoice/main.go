@@ -39,12 +39,14 @@ func main() {
 	}
 
 	// Crash-free run: everyone converges on one candidate.
-	res, err := allforone.SolveMultivalued(allforone.MultivaluedConfig{
-		Partition: part,
-		Proposals: proposals,
-		Seed:      99,
-		Timeout:   10 * time.Second,
-	})
+	sc := allforone.Scenario{
+		Protocol: allforone.ProtocolMultivalued,
+		Topology: allforone.Topology{Partition: part},
+		Workload: allforone.Workload{Values: proposals},
+		Seed:     99,
+		Bounds:   allforone.Bounds{Timeout: 10 * time.Second},
+	}
+	res, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -53,7 +55,7 @@ func main() {
 		log.Fatal("no replica decided")
 	}
 	fmt.Printf("\nchosen configuration: %q (%d/%d replicas, %d binary rounds, %d messages)\n",
-		val, count, part.N(), maxRounds(res), res.Metrics.MsgsSent)
+		val, count, part.N(), res.MaxDecisionRound(), res.Metrics.MsgsSent)
 
 	// Now the stress case: crash r2..r5, keeping only r1 in the majority
 	// cluster {r1,r2,r3}. One for all: r1 still finishes the reduction.
@@ -63,13 +65,9 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("\ncrashing r2..r5 (4 of 5 replicas)...")
-	res2, err := allforone.SolveMultivalued(allforone.MultivaluedConfig{
-		Partition: part,
-		Proposals: proposals,
-		Seed:      100,
-		Crashes:   sched,
-		Timeout:   10 * time.Second,
-	})
+	sc.Seed = 100
+	sc.Faults = sched
+	res2, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,14 +76,4 @@ func main() {
 		log.Fatal("survivor did not decide")
 	}
 	fmt.Printf("survivor r1 still activates %q — one for all, all for one.\n", val2)
-}
-
-func maxRounds(res *allforone.MultivaluedResult) int {
-	max := 0
-	for _, pr := range res.Procs {
-		if pr.Rounds > max {
-			max = pr.Rounds
-		}
-	}
-	return max
 }

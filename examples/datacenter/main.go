@@ -60,16 +60,22 @@ func main() {
 	fmt.Println("failure: site C wiped mid-broadcast, one site-A replica gone")
 	fmt.Println("liveness condition holds:", part.LivenessHolds(sched.Crashed()))
 
-	res, err := allforone.Solve(allforone.Config{
-		Partition: part,
-		Proposals: proposals,
-		Algorithm: allforone.CommonCoin, // expected 2 WAN rounds after stabilizing
+	// The network is a first-class part of the scenario: replicas inside a
+	// site exchange messages in tens of microseconds, while cross-site
+	// traffic pays a millisecond-scale WAN base delay plus jitter.
+	res, err := allforone.Run(allforone.Scenario{
+		Protocol:  allforone.ProtocolHybrid,
+		Topology:  allforone.Topology{Partition: part},
+		Workload:  allforone.Workload{Binary: proposals},
+		Algorithm: allforone.AlgoCommonCoin, // expected 2 WAN rounds after stabilizing
 		Seed:      2024,
-		Crashes:   sched,
-		MaxRounds: 1000,
-		Timeout:   30 * time.Second,
-		MinDelay:  500 * time.Microsecond, // simulated WAN latency
-		MaxDelay:  3 * time.Millisecond,
+		Faults:    sched,
+		Profile: allforone.ClusterWANProfile(
+			50*time.Microsecond, // intra-site
+			2*time.Millisecond,  // cross-site base
+			time.Millisecond,    // cross-site jitter
+		),
+		Bounds: allforone.Bounds{MaxRounds: 1000, Timeout: 30 * time.Second},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -83,7 +89,7 @@ func main() {
 		log.Fatal("no replica decided")
 	}
 	verdict := "COMMIT"
-	if val == allforone.Zero {
+	if val == "0" {
 		verdict = "ABORT"
 	}
 	fmt.Printf("\ndecision: %s (value %v), reached by %d surviving replicas\n", verdict, val, count)

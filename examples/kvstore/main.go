@@ -57,19 +57,17 @@ func main() {
 	}
 
 	const slots = 6
-	res, err := allforone.SolveLog(allforone.LogConfig{
-		Partition: part,
-		Commands:  commands,
-		Slots:     slots,
-		Seed:      2026,
-		Timeout:   30 * time.Second,
+	out, err := allforone.Run(allforone.Scenario{
+		Protocol: allforone.ProtocolSMR,
+		Topology: allforone.Topology{Partition: part},
+		Workload: allforone.Workload{Commands: commands, Slots: slots},
+		Seed:     2026,
+		Bounds:   allforone.Bounds{Timeout: 30 * time.Second},
 	})
 	if err != nil {
-		log.Fatal(err)
+		log.Fatal(err) // log agreement is checked inside the smr adapter
 	}
-	if err := res.CheckLogAgreement(); err != nil {
-		log.Fatal(err)
-	}
+	res := out.Raw.(*allforone.LogResult)
 	logs := res.CompletedLogs(slots)
 	if len(logs) == 0 {
 		log.Fatal("no replica completed the log")

@@ -42,34 +42,30 @@ func main() {
 	fmt.Printf("failure pattern: crash all but %v (6 of 7 processes!)\n", survivor)
 	fmt.Println("liveness condition holds:", part.LivenessHolds(sched.Crashed()))
 
-	res, err := allforone.Solve(allforone.Config{
-		Partition: part,
-		Proposals: unanimous,
-		Algorithm: allforone.LocalCoin,
+	// One declarative Scenario describes the whole experiment; the two
+	// systems differ only in the Protocol field.
+	sc := allforone.Scenario{
+		Protocol:  allforone.ProtocolHybrid,
+		Topology:  allforone.Topology{Partition: part},
+		Workload:  allforone.Workload{Binary: unanimous},
+		Algorithm: allforone.AlgoLocalCoin,
 		Seed:      7,
-		MaxRounds: 1000,
-		Timeout:   10 * time.Second,
-		Crashes:   sched,
-	})
+		Faults:    sched,
+		Bounds:    allforone.Bounds{MaxRounds: 1000, Timeout: 10 * time.Second},
+	}
+	res, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	pr := res.Procs[survivor]
 	fmt.Printf("hybrid:  %v decided %v at round %d — one for all!\n\n", survivor, pr.Decision, pr.Round)
 
-	// --- Same pattern, pure message passing (Ben-Or). ---
-	sched2, err := allforone.CrashAllExcept(n, crashAt, survivor)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// --- Same scenario, pure message passing (Ben-Or). ---
 	fmt.Println("now the same failure pattern under pure message passing (m = n)...")
-	bres, err := allforone.SolveBenOr(allforone.BenOrConfig{
-		N:         n,
-		Proposals: unanimous,
-		Seed:      7,
-		Crashes:   sched2,
-		Timeout:   time.Second, // it will block; bound the wait
-	})
+	sc.Protocol = allforone.ProtocolBenOr
+	sc.Algorithm = ""               // local-coin/common-coin is a hybrid-only choice
+	sc.Bounds.Timeout = time.Second // it will block; bound the realtime wait
+	bres, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}

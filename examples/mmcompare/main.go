@@ -35,13 +35,16 @@ func main() {
 
 	graph := allforone.Fig2Graph()
 	fmt.Println("m&m memory domains:", graph)
-	mres, err := allforone.SolveMM(allforone.MMConfig{
-		Graph:     graph,
-		Proposals: unanimous,
-		Seed:      3,
-		MaxRounds: 10,
-		Timeout:   10 * time.Second,
-	})
+	// The m&m topology is declarative too: the graph travels as an edge
+	// list in the scenario.
+	mmScenario := allforone.Scenario{
+		Protocol: allforone.ProtocolMM,
+		Topology: allforone.Topology{N: n, MMEdges: graph.EdgeList()},
+		Workload: allforone.Workload{Binary: unanimous},
+		Seed:     3,
+		Bounds:   allforone.Bounds{MaxRounds: 10, Timeout: 10 * time.Second},
+	}
+	mres, err := allforone.Run(mmScenario)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -54,14 +57,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Println("hybrid clusters:   ", part)
-	hres, err := allforone.Solve(allforone.Config{
-		Partition: part,
-		Proposals: unanimous,
-		Algorithm: allforone.LocalCoin,
+	hybridScenario := allforone.Scenario{
+		Protocol:  allforone.ProtocolHybrid,
+		Topology:  allforone.Topology{Partition: part},
+		Workload:  allforone.Workload{Binary: unanimous},
+		Algorithm: allforone.AlgoLocalCoin,
 		Seed:      3,
-		MaxRounds: 10,
-		Timeout:   10 * time.Second,
-	})
+		Bounds:    allforone.Bounds{MaxRounds: 10, Timeout: 10 * time.Second},
+	}
+	hres, err := allforone.Run(hybridScenario)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -77,15 +81,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	hres2, err := allforone.Solve(allforone.Config{
-		Partition: part,
-		Proposals: unanimous,
-		Algorithm: allforone.LocalCoin,
-		Seed:      5,
-		MaxRounds: 100,
-		Timeout:   10 * time.Second,
-		Crashes:   hsched,
-	})
+	hybridScenario.Seed = 5
+	hybridScenario.Faults = hsched
+	hybridScenario.Bounds.MaxRounds = 100
+	hres2, err := allforone.Run(hybridScenario)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -98,13 +97,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	mres2, err := allforone.SolveMM(allforone.MMConfig{
-		Graph:     graph,
-		Proposals: unanimous,
-		Seed:      5,
-		Crashes:   msched,
-		Timeout:   time.Second, // it blocks; bound the wait
-	})
+	mmScenario.Seed = 5
+	mmScenario.Faults = msched
+	mmScenario.Bounds = allforone.Bounds{Timeout: time.Second} // it blocks; bound the wait
+	mres2, err := allforone.Run(mmScenario)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,10 +1,14 @@
-// Quickstart: solve binary consensus in the hybrid communication model.
+// Quickstart: solve binary consensus in the hybrid communication model
+// through the Scenario API.
 //
-// Seven processes are partitioned into the paper's Figure-1 (right) layout
-// — P[1]={p1}, P[2]={p2..p5}, P[3]={p6,p7} — and propose a mix of 0s and
-// 1s. Because P[2] holds a majority of processes and agrees internally
-// through its shared-memory consensus object, its value is championed by
-// more than n/2 supporters at every process, so everyone decides it.
+// A Scenario declaratively describes one run — which protocol (by registry
+// name), on which topology, with which workload, under which faults and
+// network profile — and allforone.Run executes it. Here: seven processes
+// in the paper's Figure-1 (right) layout — P[1]={p1}, P[2]={p2..p5},
+// P[3]={p6,p7} — propose a mix of 0s and 1s. Because P[2] holds a
+// majority of processes and agrees internally through its shared-memory
+// consensus object, its value is championed by more than n/2 supporters
+// at every process, so everyone decides it.
 //
 // Run with: go run ./examples/quickstart
 package main
@@ -12,7 +16,6 @@ package main
 import (
 	"fmt"
 	"log"
-	"time"
 
 	"allforone"
 )
@@ -32,13 +35,13 @@ func main() {
 		allforone.One,  // p7
 	}
 
-	res, err := allforone.Solve(allforone.Config{
-		Partition: part,
-		Proposals: proposals,
-		Algorithm: allforone.LocalCoin, // Algorithm 2 (Ben-Or extension)
+	res, err := allforone.Run(allforone.Scenario{
+		Protocol:  allforone.ProtocolHybrid,
+		Topology:  allforone.Topology{Partition: part},
+		Workload:  allforone.Workload{Binary: proposals},
+		Algorithm: allforone.AlgoLocalCoin, // Algorithm 2 (Ben-Or extension)
 		Seed:      42,
-		MaxRounds: 1000,
-		Timeout:   10 * time.Second,
+		Bounds:    allforone.Bounds{MaxRounds: 1000},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -53,5 +56,12 @@ func main() {
 
 	for i, pr := range res.Procs {
 		fmt.Printf("  p%d: %v %v at round %d\n", i+1, pr.Status, pr.Decision, pr.Round)
+	}
+
+	// The same scenario runs any registered protocol: switch Protocol to
+	// "benor" and the identical description drives pure message passing.
+	fmt.Println("\nregistered protocols:")
+	for _, info := range allforone.Protocols() {
+		fmt.Printf("  %-12s %s\n", info.Name, info.Description)
 	}
 }

@@ -22,38 +22,39 @@ import (
 
 func main() {
 	part := allforone.Fig1Right() // n=7: {p1} {p2..p5} {p6,p7}
-	cfg := allforone.Config{
-		Partition: part,
-		Proposals: []allforone.Value{1, 0, 0, 1, 0, 1, 1},
-		Algorithm: allforone.CommonCoin,
-		Seed:      424242,
-		MaxRounds: 10_000,
-		MinDelay:  200 * time.Microsecond,
-		MaxDelay:  5 * time.Millisecond,
+	sc := allforone.Scenario{
+		Protocol: allforone.ProtocolHybrid,
+		Topology: allforone.Topology{Partition: part},
+		Workload: allforone.Workload{Binary: []allforone.Value{1, 0, 0, 1, 0, 1, 1}},
+		Seed:     424242,
+		Bounds:   allforone.Bounds{MaxRounds: 10_000},
+		// Determinism is not limited to uniform delays: any profile — here
+		// an asymmetric per-link skew — replays bit for bit.
+		Profile: allforone.DistanceSkewProfile(200*time.Microsecond, 150*time.Microsecond),
 	}
 
-	// 1. Replay: two runs of one Config are identical, field for field.
-	first, err := allforone.Solve(cfg)
+	// 1. Replay: two runs of one Scenario are identical, field for field.
+	first, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
-	second, err := allforone.Solve(cfg)
+	second, err := allforone.Run(sc)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("seed %d: decided in %d rounds, %d messages, %v simulated\n",
-		cfg.Seed, first.MaxDecisionRound(), first.Metrics.MsgsSent, first.VirtualTime)
+		sc.Seed, first.MaxDecisionRound(), first.Metrics.MsgsSent, first.VirtualTime)
 	fmt.Println("replay identical:", reflect.DeepEqual(first, second))
 
-	// 2. Sweep: a thousand seeded runs across all cores. Results arrive in
-	// input order, independent of the worker pool's interleaving.
-	cfgs := make([]allforone.Config, 1000)
-	for i := range cfgs {
-		cfgs[i] = cfg
-		cfgs[i].Seed = int64(i)
+	// 2. Sweep: a thousand seeded scenarios across all cores. Outcomes
+	// arrive in input order, independent of the worker pool's interleaving.
+	scs := make([]allforone.Scenario, 1000)
+	for i := range scs {
+		scs[i] = sc
+		scs[i].Seed = int64(i)
 	}
 	start := time.Now()
-	results, err := allforone.SweepConfigs(cfgs, 0)
+	results, err := allforone.Sweep(scs, 0)
 	if err != nil {
 		log.Fatal(err)
 	}

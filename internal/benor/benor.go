@@ -56,6 +56,10 @@ type Config struct {
 	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 	// LocalCoinOverride, when non-nil, supplies each process's coin.
 	LocalCoinOverride func(p model.ProcID) coin.Local
 }
@@ -337,7 +341,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x9e6c_63d0_876a_9a7d, &ctr, cfg.MinDelay, cfg.MaxDelay),
+	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x9e6c_63d0_876a_9a7d, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {
 			p := newProc(&cfg, i, nw, &ctr)
 			p.h = h

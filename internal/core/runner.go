@@ -103,6 +103,10 @@ type Config struct {
 	// engine zero-delay messages are delivered in deterministic send
 	// order).
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options — e.g. the delay policy a
+	// Scenario's NetworkProfile compiles to. Applied after the uniform
+	// delay band, so a delay function here overrides MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 	// Trace, when non-nil, records the event history of the run.
 	Trace *trace.Log
 	// CommonCoinOverride, when non-nil, replaces the seeded common coin
@@ -216,7 +220,7 @@ func newExecEnv(cfg *Config, n int) *execEnv {
 // the engine-specific options (the virtual engine attaches its scheduler).
 func (env *execEnv) newNetwork(cfg *Config) driver.NewNetFunc {
 	return driver.StandardNet(&env.nw, env.n,
-		uint64(cfg.Seed)^0xa076_1d64_78bd_642f, &env.ctr, cfg.MinDelay, cfg.MaxDelay)
+		uint64(cfg.Seed)^0xa076_1d64_78bd_642f, &env.ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
 }
 
 // newProc builds process i's runtime state.

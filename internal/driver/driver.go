@@ -48,6 +48,11 @@ const DefaultTimeout = 30 * time.Second
 // ErrBadEngine reports an unknown Config.Engine value.
 var ErrBadEngine = errors.New("driver: unknown engine")
 
+// ErrBadCrashes reports a crash schedule referencing processes outside the
+// run — rejected before any process is spawned, instead of panicking when
+// the engine indexes its per-process crash state.
+var ErrBadCrashes = errors.New("driver: crash schedule exceeds the run's process count")
+
 // Config carries the engine knobs shared by every protocol runner. The
 // protocol-specific parts of a run (proposals, partitions, coins, crash
 // step points) stay in the protocol package's own Config; this struct is
@@ -91,14 +96,18 @@ type Body func(i int, h *Handle)
 // StandardNet returns the NewNetFunc shared by most protocol runners: a
 // fully connected network over n processes with a package-specific seed
 // derivation, the run's counters, and an optional uniform delay band.
-// The constructed network is also stored through nw so the process bodies
-// (created before the network exists) can reach it.
-func StandardNet(nw **netsim.Network, n int, seed uint64, ctr *metrics.Counters, minDelay, maxDelay time.Duration) NewNetFunc {
+// protoOpts carries the protocol Config's extra network options (e.g. a
+// compiled NetworkProfile delay policy); it is applied after the uniform
+// band, so a delay function there wins. The constructed network is also
+// stored through nw so the process bodies (created before the network
+// exists) can reach it.
+func StandardNet(nw **netsim.Network, n int, seed uint64, ctr *metrics.Counters, minDelay, maxDelay time.Duration, protoOpts ...netsim.Option) NewNetFunc {
 	return func(extra ...netsim.Option) (*netsim.Network, error) {
 		opts := []netsim.Option{netsim.WithSeed(seed), netsim.WithCounters(ctr)}
 		if maxDelay > 0 {
 			opts = append(opts, netsim.WithUniformDelay(minDelay, maxDelay))
 		}
+		opts = append(opts, protoOpts...)
 		opts = append(opts, extra...)
 		built, err := netsim.New(n, opts...)
 		if err != nil {
@@ -203,6 +212,9 @@ func (h *Handle) Sleep(d time.Duration) bool {
 // construction (with engine-specific options), process spawning, timed
 // crash installation, abort detection, and network shutdown.
 func Run(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+	if err := cfg.Crashes.ValidateFor(n); err != nil {
+		return Outcome{}, fmt.Errorf("%w: %v", ErrBadCrashes, err)
+	}
 	switch cfg.Engine {
 	case sim.EngineVirtual:
 		return runVirtual(cfg, n, newNet, body)

@@ -263,3 +263,20 @@ func TestVirtualOutcomeReproducible(t *testing.T) {
 		t.Errorf("outcomes diverged: %+v vs %+v", a, b)
 	}
 }
+
+// A crash schedule referencing processes the run does not have is rejected
+// up front with ErrBadCrashes on BOTH engines — previously the virtual
+// engine panicked indexing its per-process kill flags.
+func TestOversizedCrashScheduleRejected(t *testing.T) {
+	t.Parallel()
+	sched := failures.NewSchedule(5)
+	if err := sched.SetTimed(4, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, eng := range []sim.Engine{sim.EngineVirtual, sim.EngineRealtime} {
+		_, err := Run(Config{Engine: eng, Crashes: sched}, 3, nil, func(int, *Handle) {})
+		if !errors.Is(err, ErrBadCrashes) {
+			t.Errorf("engine %v: err = %v, want ErrBadCrashes", eng, err)
+		}
+	}
+}

@@ -156,6 +156,44 @@ func (s *Schedule) SetTimed(p model.ProcID, at time.Duration) error {
 	return nil
 }
 
+// N returns the process count the schedule was built over. A nil schedule
+// reports 0.
+func (s *Schedule) N() int {
+	if s == nil {
+		return 0
+	}
+	return s.n
+}
+
+// ValidateFor reports an error if the schedule references any process
+// outside [0, n) — e.g. a schedule built over 7 processes attached to a
+// 5-process run. Scenario builders call it so a bad pairing is rejected at
+// configuration time instead of panicking mid-run when the engine indexes
+// its per-process crash state. A nil schedule is always valid.
+func (s *Schedule) ValidateFor(n int) error {
+	if s == nil {
+		return nil
+	}
+	for p := range s.crashes {
+		if int(p) >= n {
+			return fmt.Errorf("failures: crash plan for %v but the run has only %d processes", p, n)
+		}
+	}
+	for p := range s.timed {
+		if int(p) >= n {
+			return fmt.Errorf("failures: timed crash for %v but the run has only %d processes", p, n)
+		}
+	}
+	return nil
+}
+
+// HasStepPoints reports whether any process carries a step-point
+// ((round, phase, stage)) crash plan.
+func (s *Schedule) HasStepPoints() bool { return s != nil && len(s.crashes) > 0 }
+
+// HasTimed reports whether any process carries a timed crash instant.
+func (s *Schedule) HasTimed() bool { return s != nil && len(s.timed) > 0 }
+
 // TimedPlan returns p's timed crash instant, if any.
 func (s *Schedule) TimedPlan(p model.ProcID) (time.Duration, bool) {
 	if s == nil {

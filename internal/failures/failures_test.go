@@ -275,3 +275,47 @@ func TestTimedCrashes(t *testing.T) {
 		t.Error("nil schedule TimedPlan reported a plan")
 	}
 }
+
+// ValidateFor rejects schedules referencing processes a run does not have
+// — the scenario-build-time guard replacing a mid-run index panic.
+func TestValidateFor(t *testing.T) {
+	t.Parallel()
+	s := NewSchedule(7)
+	if err := s.Set(5, Crash{At: Point{Round: 1, Phase: 1, Stage: StageRoundStart}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetTimed(6, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if s.N() != 7 {
+		t.Errorf("N() = %d, want 7", s.N())
+	}
+	if err := s.ValidateFor(7); err != nil {
+		t.Errorf("ValidateFor(7) = %v, want nil", err)
+	}
+	if err := s.ValidateFor(6); err == nil {
+		t.Error("ValidateFor(6) accepted a schedule crashing p7")
+	}
+	if err := s.ValidateFor(5); err == nil {
+		t.Error("ValidateFor(5) accepted a schedule crashing p6 and p7")
+	}
+	// Flavor probes used by the Scenario capability validator.
+	if !s.HasStepPoints() || !s.HasTimed() {
+		t.Errorf("HasStepPoints/HasTimed = %v/%v, want true/true", s.HasStepPoints(), s.HasTimed())
+	}
+	onlyTimed := NewSchedule(3)
+	if err := onlyTimed.SetTimed(0, time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if onlyTimed.HasStepPoints() || !onlyTimed.HasTimed() {
+		t.Error("flavor probes wrong for timed-only schedule")
+	}
+	// Nil schedules are valid for any n and carry no plans.
+	var nilSched *Schedule
+	if err := nilSched.ValidateFor(0); err != nil {
+		t.Errorf("nil ValidateFor = %v", err)
+	}
+	if nilSched.N() != 0 || nilSched.HasStepPoints() || nilSched.HasTimed() {
+		t.Error("nil schedule accessors wrong")
+	}
+}

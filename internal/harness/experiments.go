@@ -11,6 +11,7 @@ import (
 	"allforone/internal/mm"
 	"allforone/internal/model"
 	"allforone/internal/mpcoin"
+	"allforone/internal/protocol"
 	"allforone/internal/shconsensus"
 	"allforone/internal/sim"
 	"allforone/internal/stats"
@@ -108,12 +109,12 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 	// Hybrid, both algorithms.
 	part := model.Fig1Right()
 	for _, algo := range []core.Algorithm{core.LocalCoin, core.CommonCoin} {
-		sum, err := runHybridTrials(part, algo, "unanimous1", opts, func(trial int, cfg *core.Config) {
+		sum, err := runHybridTrials(part, algo, "unanimous1", opts, func(trial int, sc *protocol.Scenario) {
 			sched, err := failures.CrashAllExcept(n, crashAt, survivor)
 			if err != nil {
 				panic(err) // static inputs; cannot fail
 			}
-			cfg.Crashes = sched
+			sc.Faults = sched
 		})
 		if err != nil {
 			return nil, err
@@ -134,11 +135,18 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		props := proposalsFor("unanimous1", n, nil)
-		bres, err := benor.Run(benor.Config{
-			N: n, Proposals: props, Seed: opts.SeedBase + int64(trial),
-			Engine: opts.Engine, Crashes: sched, Timeout: blockedTimeout,
-		})
+		// Same scenario, two message-passing baselines: only Protocol
+		// changes between the two runs.
+		sc := protocol.Scenario{
+			Topology: protocol.Topology{N: n},
+			Workload: protocol.Workload{Binary: proposalsFor("unanimous1", n, nil)},
+			Seed:     opts.SeedBase + int64(trial),
+			Engine:   opts.Engine,
+			Faults:   sched,
+			Bounds:   protocol.Bounds{Timeout: blockedTimeout},
+		}
+		sc.Protocol = benor.ProtocolName
+		bres, err := protocol.Run(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -148,10 +156,8 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		if bres.CountStatus(sim.StatusBlocked) > 0 {
 			benorBlocked++
 		}
-		mres, err := mpcoin.Run(mpcoin.Config{
-			N: n, Proposals: props, Seed: opts.SeedBase + int64(trial),
-			Engine: opts.Engine, Crashes: sched, Timeout: blockedTimeout,
-		})
+		sc.Protocol = mpcoin.ProtocolName
+		mres, err := protocol.Run(sc)
 		if err != nil {
 			return nil, err
 		}
@@ -269,18 +275,19 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 		{"blocks n=10,m=5", mustBlocks(10, 5)},
 	}
 	for _, pc := range hybrids {
-		res, err := core.Run(core.Config{
-			Partition: pc.p,
-			Proposals: proposalsFor("unanimous1", pc.p.N(), nil),
-			Algorithm: core.LocalCoin,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol:  core.ProtocolName,
+			Topology:  protocol.Topology{Partition: pc.p},
+			Workload:  protocol.Workload{Binary: proposalsFor("unanimous1", pc.p.N(), nil)},
+			Algorithm: core.AlgoLocalCoin,
 			Engine:    opts.Engine,
 			Seed:      opts.SeedBase + 17,
-			MaxRounds: 10,
-			Timeout:   opts.Timeout,
+			Bounds:    protocol.Bounds{MaxRounds: 10, Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
+		res := out.Raw.(*sim.Result)
 		rounds := res.MaxDecisionRound()
 		phases := float64(2 * rounds)
 		objsPerPhase := 0.0
@@ -313,17 +320,18 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 		{"star-8", star8},
 	}
 	for _, gc := range mms {
-		res, err := mm.Run(mm.Config{
-			Graph:     gc.g,
-			Proposals: proposalsFor("unanimous1", gc.g.N(), nil),
-			Seed:      opts.SeedBase + 23,
-			Engine:    opts.Engine,
-			MaxRounds: 10,
-			Timeout:   opts.Timeout,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: mm.ProtocolName,
+			Topology: protocol.Topology{N: gc.g.N(), MMEdges: gc.g.EdgeList()},
+			Workload: protocol.Workload{Binary: proposalsFor("unanimous1", gc.g.N(), nil)},
+			Seed:     opts.SeedBase + 23,
+			Engine:   opts.Engine,
+			Bounds:   protocol.Bounds{MaxRounds: 10, Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
+		res := out.Raw.(*sim.Result)
 		rounds := res.MaxDecisionRound()
 		phases := float64(2 * rounds)
 		objsPerPhase := 0.0
@@ -422,17 +430,19 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	shDecided := 0
 	var shInv []float64
 	for trial := 0; trial < opts.Trials; trial++ {
-		res, err := shconsensus.Run(shconsensus.Config{
-			N: n, Proposals: proposalsFor("split", n, nil),
-			Engine: opts.Engine,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: shconsensus.ProtocolName,
+			Topology: protocol.Topology{N: n},
+			Workload: protocol.Workload{Binary: proposalsFor("split", n, nil)},
+			Engine:   opts.Engine,
 		})
 		if err != nil {
 			return nil, err
 		}
-		if res.AllLiveDecided() {
+		if out.AllLiveDecided() {
 			shDecided++
 		}
-		shInv = append(shInv, float64(res.Metrics.ConsInvocations))
+		shInv = append(shInv, float64(out.Metrics.ConsInvocations))
 	}
 	tb.AddRowf("native shared memory", 100*float64(shDecided)/float64(opts.Trials),
 		1.0, 0.0, meanOr(shInv, 0))
@@ -451,19 +461,22 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	bDecided := 0
 	rng := rand.New(rand.NewPCG(uint64(opts.SeedBase)+77, 3))
 	for trial := 0; trial < opts.Trials; trial++ {
-		res, err := benor.Run(benor.Config{
-			N: n, Proposals: proposalsFor("split", n, rng),
-			Engine: opts.Engine,
-			Seed:   opts.SeedBase + int64(trial)*31, MaxRounds: 10_000, Timeout: opts.Timeout,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: benor.ProtocolName,
+			Topology: protocol.Topology{N: n},
+			Workload: protocol.Workload{Binary: proposalsFor("split", n, rng)},
+			Engine:   opts.Engine,
+			Seed:     opts.SeedBase + int64(trial)*31,
+			Bounds:   protocol.Bounds{MaxRounds: 10_000, Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
-		if res.AllLiveDecided() {
+		if out.AllLiveDecided() {
 			bDecided++
-			bRounds = append(bRounds, float64(res.MaxDecisionRound()))
+			bRounds = append(bRounds, float64(out.MaxDecisionRound()))
 		}
-		bMsgs = append(bMsgs, float64(res.Metrics.MsgsSent))
+		bMsgs = append(bMsgs, float64(out.Metrics.MsgsSent))
 	}
 	tb.AddRowf("native benor", 100*float64(bDecided)/float64(opts.Trials),
 		meanOr(bRounds, 0), meanOr(bMsgs, 0), 0.0)
@@ -515,22 +528,23 @@ func E8Indulgence(opts Options) (*Report, error) {
 					return nil, fmt.Errorf("harness: E8 case %q unexpectedly live", tc.name)
 				}
 				props := proposalsFor("split", tc.part.N(), nil)
-				res, err := core.Run(core.Config{
-					Partition: tc.part,
-					Proposals: props,
-					Algorithm: algo,
+				out, err := protocol.Run(protocol.Scenario{
+					Protocol:  core.ProtocolName,
+					Topology:  protocol.Topology{Partition: tc.part},
+					Workload:  protocol.Workload{Binary: props},
+					Algorithm: algoName(algo),
 					Engine:    opts.Engine,
 					Seed:      opts.SeedBase + int64(trial)*53,
-					Timeout:   blockedTimeout,
-					Crashes:   sched,
+					Faults:    sched,
+					Bounds:    protocol.Bounds{Timeout: blockedTimeout},
 				})
 				if err != nil {
 					return nil, err
 				}
-				if _, _, ok := res.Decided(); ok {
+				if _, _, ok := out.Decided(); ok {
 					decidedRuns++
 				}
-				if res.CheckAgreement() != nil || res.CheckValidity(props) != nil {
+				if out.CheckAgreement() != nil || out.CheckValidity(renderValues(props)) != nil {
 					violations++
 				}
 			}

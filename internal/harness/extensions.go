@@ -6,6 +6,7 @@ import (
 	"allforone/internal/failures"
 	"allforone/internal/model"
 	"allforone/internal/multivalued"
+	"allforone/internal/protocol"
 	"allforone/internal/register"
 	"allforone/internal/sim"
 	"allforone/internal/smr"
@@ -16,7 +17,9 @@ import (
 // model — multivalued consensus, the atomic register, and the replicated
 // log — to the paper's flagship failure pattern (crash 6 of 7, keep one
 // member of Fig1Right's majority cluster) and verifies each keeps
-// operating, i.e. the one-for-all property composes upward.
+// operating, i.e. the one-for-all property composes upward. All three
+// layers run through the protocol registry (protocol.Run): the scenarios
+// differ only in Protocol, Workload, and fault flavor.
 func E9ExtensionStack(opts Options) (*Report, error) {
 	opts = opts.withDefaults()
 	rep := &Report{
@@ -39,26 +42,27 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			return nil, err
 		}
 		props := []string{"a", "b", "c", "d", "e", "f", "g"}
-		res, err := multivalued.Run(multivalued.Config{
-			Partition: part,
-			Proposals: props,
-			Seed:      opts.SeedBase + int64(trial)*379,
-			Engine:    opts.Engine,
-			Crashes:   sched,
-			Timeout:   opts.Timeout,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: multivalued.ProtocolName,
+			Topology: protocol.Topology{Partition: part},
+			Workload: protocol.Workload{Values: props},
+			Seed:     opts.SeedBase + int64(trial)*379,
+			Engine:   opts.Engine,
+			Faults:   sched,
+			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
-		if err := res.CheckAgreement(); err != nil {
+		if err := out.CheckAgreement(); err != nil {
 			return nil, err
 		}
-		if err := res.CheckValidity(props); err != nil {
+		if err := out.CheckValidity(props); err != nil {
 			return nil, err
 		}
-		if res.Procs[survivor].Status == sim.StatusDecided {
+		if pr := out.Procs[survivor]; pr.Status == sim.StatusDecided {
 			mvOK++
-			mvRounds = append(mvRounds, float64(res.Procs[survivor].Rounds))
+			mvRounds = append(mvRounds, float64(pr.Round))
 		}
 	}
 	mvPct := 100 * float64(mvOK) / float64(opts.Trials)
@@ -66,10 +70,9 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 	rep.Findings["multivalued/success_pct"] = mvPct
 
 	// Layer 2: atomic register — survivor read/write after the crash. The
-	// scripted run (register.Run, on the unified driver) expresses the
-	// scenario as timed crashes: process 1 (p2) writes "pre" at t=0,
-	// everyone but the survivor (process 2, p3) crashes at 1ms, and the
-	// survivor reads/writes/reads from 2ms on.
+	// scenario expresses the pattern as timed crashes: process 1 (p2)
+	// writes "pre" at t=0, everyone but the survivor (process 2, p3)
+	// crashes at 1ms, and the survivor reads/writes/reads from 2ms on.
 	regOK := 0
 	for trial := 0; trial < opts.Trials; trial++ {
 		sched := failures.NewSchedule(part.N())
@@ -80,24 +83,28 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 				}
 			}
 		}
-		scripts := make([][]register.Op, part.N())
-		scripts[1] = []register.Op{register.WriteOp("pre")}
-		scripts[survivor] = []register.Op{
-			{Kind: register.OpRead, After: 2 * time.Millisecond},
-			register.WriteOp("post"),
-			register.ReadOp(),
+		scripts := make([][]protocol.RegisterOp, part.N())
+		scripts[1] = []protocol.RegisterOp{protocol.WriteOp("pre")}
+		read := protocol.ReadOp()
+		read.After = 2 * time.Millisecond
+		scripts[survivor] = []protocol.RegisterOp{
+			read,
+			protocol.WriteOp("post"),
+			protocol.ReadOp(),
 		}
-		res, err := register.Run(register.Config{
-			Partition: part,
-			Scripts:   scripts,
-			Seed:      opts.SeedBase + int64(trial)*631,
-			Engine:    opts.Engine,
-			Crashes:   sched,
-			Timeout:   opts.Timeout,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: register.ProtocolName,
+			Topology: protocol.Topology{Partition: part},
+			Workload: protocol.Workload{Scripts: scripts},
+			Seed:     opts.SeedBase + int64(trial)*631,
+			Engine:   opts.Engine,
+			Faults:   sched,
+			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
+		res := out.Raw.(*register.Result)
 		surv := res.Procs[survivor]
 		if surv.Status == sim.StatusDecided && len(surv.Ops) == 3 &&
 			surv.Ops[0].Val == "pre" && surv.Ops[2].Val == "post" {
@@ -121,21 +128,19 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 		for i := range cmds {
 			cmds[i] = []string{"cmd-" + string(rune('a'+i))}
 		}
-		res, err := smr.Run(smr.Config{
-			Partition: part,
-			Commands:  cmds,
-			Slots:     slots,
-			Seed:      opts.SeedBase + int64(trial)*881,
-			Engine:    opts.Engine,
-			Crashes:   sched,
-			Timeout:   opts.Timeout,
+		out, err := protocol.Run(protocol.Scenario{
+			Protocol: smr.ProtocolName,
+			Topology: protocol.Topology{Partition: part},
+			Workload: protocol.Workload{Commands: cmds, Slots: slots},
+			Seed:     opts.SeedBase + int64(trial)*881,
+			Engine:   opts.Engine,
+			Faults:   sched,
+			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})
 		if err != nil {
 			return nil, err
 		}
-		if err := res.CheckLogAgreement(); err != nil {
-			return nil, err
-		}
+		res := out.Raw.(*smr.Result)
 		if err := res.CheckLogValidity(cmds); err != nil {
 			return nil, err
 		}

@@ -28,6 +28,7 @@ import (
 
 	"allforone/internal/core"
 	"allforone/internal/model"
+	"allforone/internal/protocol"
 	"allforone/internal/sim"
 	"allforone/internal/stats"
 )
@@ -123,62 +124,80 @@ func proposalsFor(mode string, n int, rng *rand.Rand) []model.Value {
 	return out
 }
 
+// algoName renders a core.Algorithm as its Scenario registry name.
+func algoName(algo core.Algorithm) string {
+	if algo == core.LocalCoin {
+		return core.AlgoLocalCoin
+	}
+	return core.AlgoCommonCoin
+}
+
+// renderValues renders binary proposals as the Outcome decision strings.
+func renderValues(props []model.Value) []string {
+	out := make([]string, len(props))
+	for i, v := range props {
+		out[i] = v.String()
+	}
+	return out
+}
+
 // runHybridTrials runs `trials` seeded executions of the hybrid algorithm
-// and aggregates their costs. The cfgFn hook lets callers adjust the config
-// per trial (e.g. attach crash schedules).
+// through the Scenario API and aggregates their costs. The scFn hook lets
+// callers adjust the scenario per trial (e.g. attach crash schedules or a
+// network profile).
 //
-// Configurations are generated sequentially (so the shared proposal RNG
-// stays deterministic) and then executed on the worker pool; aggregation
-// folds results in trial order, so the summary is identical whatever the
+// Scenarios are generated sequentially (so the shared proposal RNG stays
+// deterministic) and then executed on the worker pool; aggregation folds
+// outcomes in trial order, so the summary is identical whatever the
 // parallelism.
 func runHybridTrials(part *model.Partition, algo core.Algorithm, mode string, opts Options,
-	cfgFn func(trial int, cfg *core.Config)) (*trialSummary, error) {
+	scFn func(trial int, sc *protocol.Scenario)) (*trialSummary, error) {
 	opts = opts.withDefaults()
 	rng := rand.New(rand.NewPCG(uint64(opts.SeedBase)+0x9e37, 0x79b9))
-	cfgs := make([]core.Config, opts.Trials)
-	for trial := range cfgs {
-		cfgs[trial] = core.Config{
-			Partition: part,
-			Proposals: proposalsFor(mode, part.N(), rng),
-			Algorithm: algo,
+	scs := make([]protocol.Scenario, opts.Trials)
+	for trial := range scs {
+		scs[trial] = protocol.Scenario{
+			Protocol:  core.ProtocolName,
+			Topology:  protocol.Topology{Partition: part},
+			Workload:  protocol.Workload{Binary: proposalsFor(mode, part.N(), rng)},
+			Algorithm: algoName(algo),
 			Engine:    opts.Engine,
 			Seed:      opts.SeedBase + int64(trial)*1_000_003,
-			MaxRounds: 10_000,
-			Timeout:   opts.Timeout,
+			Bounds:    protocol.Bounds{MaxRounds: 10_000, Timeout: opts.Timeout},
 		}
-		if cfgFn != nil {
-			cfgFn(trial, &cfgs[trial])
+		if scFn != nil {
+			scFn(trial, &scs[trial])
 		}
 	}
-	results, err := Sweep(cfgs, opts.workers())
+	outs, err := Sweep(scs, opts.workers())
 	if err != nil {
 		return nil, fmt.Errorf("harness: %w", err)
 	}
 	sum := &trialSummary{trials: opts.Trials}
-	for trial, res := range results {
-		if err := res.CheckAgreement(); err != nil {
+	for trial, out := range outs {
+		if err := out.CheckAgreement(); err != nil {
 			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
 		}
-		if err := res.CheckValidity(cfgs[trial].Proposals); err != nil {
+		if err := out.CheckValidity(renderValues(scs[trial].Workload.Binary)); err != nil {
 			return nil, fmt.Errorf("harness: trial %d: %w", trial, err)
 		}
-		sum.observe(res)
+		sum.observe(out)
 	}
 	return sum, nil
 }
 
 // observe folds one run into the summary.
-func (s *trialSummary) observe(res *sim.Result) {
-	if res.AllLiveDecided() {
+func (s *trialSummary) observe(out *protocol.Outcome) {
+	if out.AllLiveDecided() {
 		s.decided++
-		s.rounds = append(s.rounds, float64(res.MaxDecisionRound()))
+		s.rounds = append(s.rounds, float64(out.MaxDecisionRound()))
 	}
-	if res.CountStatus(sim.StatusBlocked) > 0 {
+	if out.CountStatus(sim.StatusBlocked) > 0 {
 		s.blocked++
 	}
-	s.msgs = append(s.msgs, float64(res.Metrics.MsgsSent))
-	s.consInv = append(s.consInv, float64(res.Metrics.ConsInvocations))
-	s.coinFlips = append(s.coinFlips, float64(res.Metrics.CoinFlips))
+	s.msgs = append(s.msgs, float64(out.Metrics.MsgsSent))
+	s.consInv = append(s.consInv, float64(out.Metrics.ConsInvocations))
+	s.coinFlips = append(s.coinFlips, float64(out.Metrics.CoinFlips))
 }
 
 // meanOr returns the mean of xs or fallback for empty samples.

@@ -5,19 +5,39 @@ import (
 	"sync"
 
 	"allforone/internal/core"
+	"allforone/internal/protocol"
 	"allforone/internal/sim"
 )
 
-// Sweep executes every configuration on a bounded worker pool and returns
-// the results in input order. Under the virtual engine each run is a
-// single-threaded deterministic simulation, so runs are embarrassingly
-// parallel: a sweep of thousands of seeded configurations saturates all
-// cores without perturbing any individual result. parallelism ≤ 0 means
-// one worker per available CPU.
+// Sweep executes every scenario on a bounded worker pool and returns the
+// outcomes in input order — the bulk entry point of the Scenario API.
+// Under the virtual engine each run is a single-threaded deterministic
+// simulation, so runs are embarrassingly parallel: a sweep of thousands of
+// seeded scenarios saturates all cores without perturbing any individual
+// Outcome. parallelism ≤ 0 means one worker per available CPU.
 //
-// The first error (invalid config or invariant violation) aborts the sweep
-// and is returned; in-flight runs finish, queued ones are skipped.
-func Sweep(cfgs []core.Config, parallelism int) ([]*sim.Result, error) {
+// The first error (invalid scenario or invariant violation) aborts the
+// sweep and is returned; in-flight runs finish, queued ones are skipped.
+func Sweep(scs []protocol.Scenario, parallelism int) ([]*protocol.Outcome, error) {
+	outs := make([]*protocol.Outcome, len(scs))
+	err := forEachParallel(parallelism, len(scs), func(i int) error {
+		out, err := protocol.Run(scs[i])
+		if err != nil {
+			return err
+		}
+		outs[i] = out
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return outs, nil
+}
+
+// SweepCore executes raw hybrid core.Configs — the pre-Scenario sweep,
+// kept for callers needing core-only knobs (coin overrides, ablations)
+// that the declarative Scenario deliberately does not expose.
+func SweepCore(cfgs []core.Config, parallelism int) ([]*sim.Result, error) {
 	results := make([]*sim.Result, len(cfgs))
 	err := forEachParallel(parallelism, len(cfgs), func(i int) error {
 		res, err := core.Run(cfgs[i])

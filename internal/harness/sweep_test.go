@@ -8,34 +8,35 @@ import (
 
 	"allforone/internal/core"
 	"allforone/internal/model"
+	"allforone/internal/protocol"
 )
 
-// sweepConfigs builds k deterministic virtual-engine configurations.
-func sweepConfigs(k int) []core.Config {
-	cfgs := make([]core.Config, k)
-	for i := range cfgs {
-		cfgs[i] = core.Config{
-			Partition: model.Fig1Left(),
-			Proposals: proposalsFor("split", 7, nil),
-			Algorithm: core.CommonCoin,
-			Seed:      int64(i) * 31,
-			MaxRounds: 10_000,
+// sweepScenarios builds k deterministic virtual-engine scenarios.
+func sweepScenarios(k int) []protocol.Scenario {
+	scs := make([]protocol.Scenario, k)
+	for i := range scs {
+		scs[i] = protocol.Scenario{
+			Protocol: core.ProtocolName,
+			Topology: protocol.Topology{Partition: model.Fig1Left()},
+			Workload: protocol.Workload{Binary: proposalsFor("split", 7, nil)},
+			Seed:     int64(i) * 31,
+			Bounds:   protocol.Bounds{MaxRounds: 10_000},
 		}
 	}
-	return cfgs
+	return scs
 }
 
-// A sweep's results are in input order and independent of the pool size:
+// A sweep's outcomes are in input order and independent of the pool size:
 // sequential and maximally parallel execution must agree exactly (virtual
 // runs are deterministic, so even Elapsed matches).
 func TestSweepParallelismIndependent(t *testing.T) {
 	t.Parallel()
 	const k = 40
-	seq, err := Sweep(sweepConfigs(k), 1)
+	seq, err := Sweep(sweepScenarios(k), 1)
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Sweep(sweepConfigs(k), 8)
+	par, err := Sweep(sweepScenarios(k), 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,13 +50,44 @@ func TestSweepParallelismIndependent(t *testing.T) {
 	}
 }
 
-// The first invalid configuration aborts the sweep with an error.
+// The first invalid scenario aborts the sweep with an error.
 func TestSweepPropagatesErrors(t *testing.T) {
 	t.Parallel()
-	cfgs := sweepConfigs(5)
-	cfgs[3].Proposals = nil // invalid: wrong proposal count
-	if _, err := Sweep(cfgs, 4); !errors.Is(err, core.ErrBadConfig) {
+	scs := sweepScenarios(5)
+	scs[3].Workload.Binary = nil // invalid: wrong proposal count
+	if _, err := Sweep(scs, 4); !errors.Is(err, core.ErrBadConfig) {
 		t.Fatalf("err = %v, want ErrBadConfig", err)
+	}
+}
+
+// SweepCore (the raw-config sweep kept for core-only knobs) matches the
+// Scenario path result for result.
+func TestSweepCoreMatchesScenarioSweep(t *testing.T) {
+	t.Parallel()
+	const k = 8
+	scs := sweepScenarios(k)
+	outs, err := Sweep(scs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgs := make([]core.Config, k)
+	for i, sc := range scs {
+		cfgs[i] = core.Config{
+			Partition: sc.Topology.Partition,
+			Proposals: sc.Workload.Binary,
+			Algorithm: core.CommonCoin, // the Scenario default
+			Seed:      sc.Seed,
+			MaxRounds: sc.Bounds.MaxRounds,
+		}
+	}
+	results, err := SweepCore(cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range results {
+		if !reflect.DeepEqual(results[i], outs[i].Raw) {
+			t.Fatalf("trial %d: SweepCore and Sweep disagree:\n  core: %+v\n  scen: %+v", i, results[i], outs[i].Raw)
+		}
 	}
 }
 

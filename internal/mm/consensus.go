@@ -57,6 +57,10 @@ type Config struct {
 	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 	// LocalCoinOverride, when non-nil, supplies each process's coin.
 	LocalCoinOverride func(p model.ProcID) coin.Local
 }
@@ -289,7 +293,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0xc2b2_ae3d_27d4_eb4f, &ctr, cfg.MinDelay, cfg.MaxDelay),
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0xc2b2_ae3d_27d4_eb4f, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {
 			id := model.ProcID(i)
 			var localCoin coin.Local

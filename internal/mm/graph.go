@@ -73,6 +73,21 @@ func MustGraph(n int, edges [][2]int) *Graph {
 	return g
 }
 
+// EdgeList returns the graph's undirected edge list (each edge once, with
+// endpoints ordered a < b) — the inverse of NewGraph, used to express a
+// graph as a Scenario topology.
+func (g *Graph) EdgeList() [][2]int {
+	var out [][2]int
+	for a, ns := range g.adj {
+		for _, b := range ns {
+			if a < int(b) {
+				out = append(out, [2]int{a, int(b)})
+			}
+		}
+	}
+	return out
+}
+
 // Fig2 is the example graph of the paper's Figure 2 / appendix: 5
 // processes with edges p1–p2, p2–p3, p3–p4, p3–p5, p4–p5, yielding memory
 // domains S1={p1,p2}, S2={p1,p2,p3}, S3={p2,p3,p4,p5}, S4=S5={p3,p4,p5}.

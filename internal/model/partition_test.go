@@ -175,6 +175,49 @@ func TestParse(t *testing.T) {
 	}
 }
 
+// TestParseErrorPaths pins the error identity of every malformed-spec
+// class: overlap, gaps (which surface as out-of-range indexes, since n is
+// the total member count), and syntactic garbage. Each case asserts the
+// sentinel the caller can errors.Is against.
+func TestParseErrorPaths(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		spec string
+		want error // nil = any error
+	}{
+		{"overlap across clusters", "1-3/3-5", ErrNotPartition},
+		{"overlap single process", "1/1", ErrNotPartition},
+		{"gap leaves index out of range", "1-2/4-5", ErrNotPartition},
+		{"gap with singleton", "1/3", ErrNotPartition},
+		{"zero index (1-based spec)", "0/1", ErrNotPartition},
+		{"negative index", "-2/1", nil}, // "-2" parses as a malformed range
+		{"empty spec", "", ErrEmptyPartition},
+		{"whitespace spec", "   ", ErrEmptyPartition},
+		{"empty cluster mid-spec", "1//2", ErrEmptyCluster},
+		{"empty trailing cluster", "1-2/", ErrEmptyCluster},
+		{"only commas", ",,,", ErrEmptyCluster},
+		{"inverted range", "5-3", nil},
+		{"non-numeric member", "a/1", nil},
+		{"non-numeric range start", "x-3", nil},
+		{"non-numeric range end", "1-y", nil},
+		{"float member", "1.5/2", nil},
+		{"huge overlap via ranges", "1-4/2-3", ErrNotPartition},
+	}
+	for _, tt := range tests {
+		t.Run(tt.name, func(t *testing.T) {
+			t.Parallel()
+			p, err := Parse(tt.spec)
+			if err == nil {
+				t.Fatalf("Parse(%q) = %v, want error", tt.spec, p)
+			}
+			if tt.want != nil && !errors.Is(err, tt.want) {
+				t.Errorf("Parse(%q) error = %v, want errors.Is(%v)", tt.spec, err, tt.want)
+			}
+		})
+	}
+}
+
 func TestSpecRoundTrip(t *testing.T) {
 	t.Parallel()
 	rng := rand.New(rand.NewPCG(7, 11))

@@ -55,6 +55,10 @@ type Config struct {
 	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 	// CommonCoinOverride, when non-nil, replaces the seeded common coin.
 	CommonCoinOverride coin.Common
 }
@@ -262,7 +266,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x27d4_eb2f_1656_67c5, &ctr, cfg.MinDelay, cfg.MaxDelay),
+	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x27d4_eb2f_1656_67c5, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {
 			p := newProc(&cfg, i, nw, commonCoin, &ctr)
 			p.h = h

@@ -77,6 +77,10 @@ type Config struct {
 	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 }
 
 // DefaultTimeout bounds runs whose liveness condition may not hold.
@@ -462,7 +466,7 @@ func Run(cfg Config) (*Result, error) {
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x60be_e2be_e120_fc15, &ctr, cfg.MinDelay, cfg.MaxDelay),
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x60be_e2be_e120_fc15, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {
 			id := model.ProcID(i)
 			p := &proc{

@@ -43,10 +43,19 @@ type Message struct {
 // network's RNG lock, so it may use rng without synchronization.
 type DelayFn func(rng *rand.Rand, m Message) time.Duration
 
+// TimedDelayFn computes the transit delay of a message given the send
+// instant `now` — the virtual clock under virtual-time mode, the wall
+// clock since network construction otherwise. The extra argument is what
+// lets delay policies depend on the run's history, e.g. a network
+// partition that heals at a fixed virtual instant. Like DelayFn it runs
+// under the network's RNG lock.
+type TimedDelayFn func(now time.Duration, rng *rand.Rand, m Message) time.Duration
+
 // options collects network construction parameters.
 type options struct {
 	seed     uint64
 	delayFn  DelayFn
+	timedFn  TimedDelayFn
 	counters *metrics.Counters
 	sched    *vclock.Scheduler
 }
@@ -83,6 +92,14 @@ func WithDelayFn(fn DelayFn) Option {
 	return func(o *options) { o.delayFn = fn }
 }
 
+// WithTimedDelayFn installs a clock-aware delay policy — the compile
+// target of the public API's NetworkProfiles (per-link skew matrices,
+// asymmetric cluster WANs, partitions healing at an instant). It overrides
+// WithUniformDelay and WithDelayFn.
+func WithTimedDelayFn(fn TimedDelayFn) Option {
+	return func(o *options) { o.timedFn = fn }
+}
+
 // WithCounters wires the network to a metrics sink; sends and deliveries
 // are counted there.
 func WithCounters(c *metrics.Counters) Option {
@@ -109,6 +126,7 @@ type Network struct {
 	boxes  []*mailbox.Mailbox[Message] // realtime mode
 	vboxes []*mailbox.Virtual[Message] // virtual mode
 	opts   options
+	start  time.Time      // construction instant: "now" for realtime TimedDelayFns
 	wg     sync.WaitGroup // in-flight delayed deliveries (realtime mode)
 	rngMu  sync.Mutex
 	rng    *rand.Rand
@@ -125,9 +143,10 @@ func New(n int, opts ...Option) (*Network, error) {
 		opt(&o)
 	}
 	nw := &Network{
-		n:    n,
-		opts: o,
-		rng:  rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
+		n:     n,
+		opts:  o,
+		start: time.Now(),
+		rng:   rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
 	}
 	if o.sched != nil {
 		nw.vboxes = make([]*mailbox.Virtual[Message], n)
@@ -141,6 +160,16 @@ func New(n int, opts ...Option) (*Network, error) {
 		nw.boxes[i] = mailbox.New[Message]()
 	}
 	return nw, nil
+}
+
+// now returns the send instant handed to TimedDelayFns: the virtual clock
+// in virtual-time mode (deterministic), wall time since construction
+// otherwise.
+func (nw *Network) now() time.Duration {
+	if nw.opts.sched != nil {
+		return time.Duration(nw.opts.sched.Now())
+	}
+	return time.Since(nw.start)
 }
 
 // Bind attaches the coroutine that consumes process p's inbox (virtual-time
@@ -167,10 +196,20 @@ func (nw *Network) Send(from, to model.ProcID, payload any) {
 	}
 	m := Message{From: from, To: to, Payload: payload}
 	var d time.Duration
-	if nw.opts.delayFn != nil && !nw.closed.Load() {
-		nw.rngMu.Lock()
-		d = nw.opts.delayFn(nw.rng, m)
-		nw.rngMu.Unlock()
+	if !nw.closed.Load() {
+		switch {
+		case nw.opts.timedFn != nil:
+			nw.rngMu.Lock()
+			d = nw.opts.timedFn(nw.now(), nw.rng, m)
+			nw.rngMu.Unlock()
+		case nw.opts.delayFn != nil:
+			nw.rngMu.Lock()
+			d = nw.opts.delayFn(nw.rng, m)
+			nw.rngMu.Unlock()
+		}
+	}
+	if d < 0 {
+		d = 0
 	}
 	if nw.vboxes != nil {
 		// Virtual mode: transit is a delivery event d nanoseconds of virtual

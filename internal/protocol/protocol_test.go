@@ -1,0 +1,164 @@
+package protocol_test
+
+// The protocol package itself is implementation-free; importing
+// internal/protocols populates the registry with the real entries for the
+// registry and profile tests below.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/protocol"
+	_ "allforone/internal/protocols"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
+	want := []string{"benor", "hybrid", "mm", "mpcoin", "multivalued", "register", "shmem", "smr"}
+	got := protocol.Names()
+	if len(got) != len(want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Names() = %v, want %v", got, want)
+		}
+	}
+	for _, info := range protocol.Infos() {
+		if info.Description == "" {
+			t.Errorf("%s: empty description", info.Name)
+		}
+		if info.Proposals < protocol.ProposalsBinary || info.Proposals > protocol.ProposalsScripts {
+			t.Errorf("%s: bad proposal kind %v", info.Name, info.Proposals)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicatesAndNil(t *testing.T) {
+	t.Parallel()
+	if err := protocol.Register(nil); err == nil {
+		t.Error("nil protocol accepted")
+	}
+	if err := protocol.Register(protocol.New(protocol.Info{}, nil)); err == nil {
+		t.Error("empty name accepted")
+	}
+	dup := protocol.New(protocol.Info{Name: "hybrid"}, func(*protocol.Scenario) (*protocol.Outcome, error) { return nil, nil })
+	if err := protocol.Register(dup); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Errorf("duplicate registration: err = %v", err)
+	}
+}
+
+func TestRunUnknownProtocol(t *testing.T) {
+	t.Parallel()
+	_, err := protocol.Run(protocol.Scenario{Protocol: "nope", Topology: protocol.Topology{N: 3}})
+	if err == nil || !strings.Contains(err.Error(), "registered:") {
+		t.Fatalf("err = %v, want unknown-protocol listing the registry", err)
+	}
+}
+
+func TestTopologyProcs(t *testing.T) {
+	t.Parallel()
+	part := model.Fig1Left()
+	if n, err := (protocol.Topology{Partition: part}).Procs(); err != nil || n != 7 {
+		t.Errorf("partition topology = %d, %v", n, err)
+	}
+	if n, err := (protocol.Topology{Partition: part, N: 7}).Procs(); err != nil || n != 7 {
+		t.Errorf("consistent N = %d, %v", n, err)
+	}
+	if _, err := (protocol.Topology{Partition: part, N: 5}).Procs(); err == nil {
+		t.Error("inconsistent N accepted")
+	}
+	if n, err := (protocol.Topology{N: 4}).Procs(); err != nil || n != 4 {
+		t.Errorf("bare N = %d, %v", n, err)
+	}
+	if _, err := (protocol.Topology{}).Procs(); err == nil {
+		t.Error("empty topology accepted")
+	}
+}
+
+// compile resolves a profile over n processes with an optional partition.
+func compile(t *testing.T, p protocol.NetworkProfile, n int, part *model.Partition) netsim.TimedDelayFn {
+	t.Helper()
+	fn, err := p.Compile(n, part)
+	if err != nil {
+		t.Fatalf("%s: %v", p.ProfileName(), err)
+	}
+	return fn
+}
+
+func TestProfileCompileErrors(t *testing.T) {
+	t.Parallel()
+	part := model.Fig1Left()
+	cases := []struct {
+		name string
+		p    protocol.NetworkProfile
+		part *model.Partition
+	}{
+		{"skew matrix wrong size", protocol.SkewMatrix(make([][]time.Duration, 3)), part},
+		{"skew matrix ragged", protocol.SkewMatrix([][]time.Duration{{0}, {0}, {0}}), nil},
+		{"wan without partition", protocol.ClusterWAN(0, time.Millisecond, 0), nil},
+		{"wan matrix wrong size", protocol.ClusterWANMatrix(0, [][]time.Duration{{0}}, 0), part},
+		{"heal without partition or set", protocol.HealingPartition(nil, time.Millisecond, 0, 0), nil},
+		{"heal out-of-range proc", protocol.HealingPartition([]model.ProcID{9}, time.Millisecond, 0, 0), part},
+		{"negative distance skew", protocol.DistanceSkew(-time.Millisecond, 0), part},
+	}
+	for _, tc := range cases {
+		n := 7
+		if tc.name == "skew matrix ragged" {
+			n = 3
+		}
+		if _, err := tc.p.Compile(n, tc.part); err == nil {
+			t.Errorf("%s: compiled", tc.name)
+		}
+	}
+}
+
+func TestDistanceSkewDeterministic(t *testing.T) {
+	t.Parallel()
+	fn := compile(t, protocol.DistanceSkew(100*time.Microsecond, 50*time.Microsecond), 5, nil)
+	m := netsim.Message{From: 1, To: 4}
+	if d := fn(0, nil, m); d != 250*time.Microsecond {
+		t.Errorf("delay(1→4) = %v, want 250µs", d)
+	}
+	if d := fn(0, nil, netsim.Message{From: 4, To: 4}); d != 100*time.Microsecond {
+		t.Errorf("delay(4→4) = %v, want base", d)
+	}
+}
+
+func TestHealingPartitionHoldsCrossTraffic(t *testing.T) {
+	t.Parallel()
+	part := model.Fig1Left() // P[0]={0,1,2}
+	fn := compile(t, protocol.HealingPartition(nil, time.Millisecond, 0, 0), 7, part)
+	cross := netsim.Message{From: 0, To: 5}
+	inside := netsim.Message{From: 0, To: 1}
+	if d := fn(200*time.Microsecond, nil, cross); d != 800*time.Microsecond {
+		t.Errorf("pre-heal cross delay = %v, want 800µs", d)
+	}
+	if d := fn(200*time.Microsecond, nil, inside); d != 0 {
+		t.Errorf("pre-heal intra delay = %v, want 0", d)
+	}
+	if d := fn(2*time.Millisecond, nil, cross); d != 0 {
+		t.Errorf("post-heal cross delay = %v, want 0", d)
+	}
+}
+
+func TestParseProfile(t *testing.T) {
+	t.Parallel()
+	if p, err := protocol.ParseProfile(""); err != nil || p != nil {
+		t.Errorf("empty spec = %v, %v", p, err)
+	}
+	for _, spec := range []string{"uniform:0s:2ms", "skew:100us:50us", "wan:50us:1ms:100us", "heal:2ms:0s:200us"} {
+		p, err := protocol.ParseProfile(spec)
+		if err != nil || p == nil {
+			t.Errorf("ParseProfile(%q) = %v, %v", spec, p, err)
+		}
+	}
+	for _, bad := range []string{"warp:1ms", "uniform:1ms", "uniform:x:y", "skew:1ms:2ms:3ms"} {
+		if _, err := protocol.ParseProfile(bad); err == nil {
+			t.Errorf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}

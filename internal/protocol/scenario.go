@@ -1,0 +1,201 @@
+package protocol
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/sim"
+	"allforone/internal/trace"
+)
+
+// Scenario is a declarative run description shared by every registered
+// protocol: WHAT to run (protocol + workload) on WHICH topology, under
+// WHICH adversary (faults + network profile), driven HOW (engine, seed,
+// bounds). protocol.Run compiles it onto the chosen protocol's own Config.
+//
+// A single Scenario value may carry every workload shape at once
+// (Binary + Values + Commands + Scripts); each protocol consumes only the
+// shape its Info declares — which is what lets a differential harness run
+// one scenario matrix across the whole registry by switching Protocol.
+type Scenario struct {
+	// Protocol names the registry entry to run (see Names()).
+	Protocol string
+	// Topology is the communication structure: a cluster partition for
+	// hybrid protocols, a bare process count for flat ones, an m&m graph
+	// for the comparator.
+	Topology Topology
+	// Workload holds the per-process inputs (see ProposalKind).
+	Workload Workload
+	// Faults is the crash pattern; nil means crash-free. It must cover
+	// exactly the topology's processes — schedules referencing processes
+	// the run does not have are rejected at build time.
+	Faults *failures.Schedule
+	// Profile is the message-delay policy; nil means immediate delivery.
+	// Profiles compile down to netsim delay functions (deterministic under
+	// the virtual engine).
+	Profile NetworkProfile
+	// Engine selects the execution engine; the zero value is
+	// sim.EngineVirtual (deterministic: same Scenario, same Outcome).
+	Engine sim.Engine
+	// Seed pins all randomness of the run.
+	Seed int64
+	// Algorithm selects a variant for protocols offering several (see
+	// Info.Algorithms); empty picks the protocol's default.
+	Algorithm string
+	// Bounds caps the run (rounds, wall/virtual time, scheduler steps).
+	Bounds Bounds
+	// Trace, when non-nil, records structured events (Traceable protocols
+	// only).
+	Trace *trace.Log
+}
+
+// Topology is the communication structure of a scenario.
+type Topology struct {
+	// Partition is the hybrid model's cluster decomposition. When set, it
+	// also fixes the process count for flat protocols.
+	Partition *model.Partition
+	// N is the process count for protocols that need no partition; ignored
+	// (but validated for consistency) when Partition is set.
+	N int
+	// MMEdges is the undirected edge list inducing the m&m model's memory
+	// domains (0-based endpoints); consumed by NeedsGraph protocols.
+	MMEdges [][2]int
+}
+
+// Procs resolves the topology's process count: the partition's when one is
+// set (cross-checked against N if both are given), N otherwise.
+func (t Topology) Procs() (int, error) {
+	if t.Partition != nil {
+		n := t.Partition.N()
+		if t.N != 0 && t.N != n {
+			return 0, fmt.Errorf("%w: Topology.N = %d but the partition has %d processes", ErrBadScenario, t.N, n)
+		}
+		return n, nil
+	}
+	if t.N <= 0 {
+		return 0, fmt.Errorf("%w: topology needs a partition or a positive N", ErrBadScenario)
+	}
+	return t.N, nil
+}
+
+// Workload is the per-process input of a scenario. Only the field matching
+// the protocol's ProposalKind is consumed; the others may stay empty (or
+// carry inputs for other protocols sharing the scenario).
+type Workload struct {
+	// Binary holds one binary proposal per process.
+	Binary []model.Value
+	// Values holds one arbitrary string proposal per process.
+	Values []string
+	// Commands holds one command queue per replica; Slots is the log
+	// length to agree on.
+	Commands [][]string
+	Slots    int
+	// Scripts holds one read/write script per process.
+	Scripts [][]RegisterOp
+}
+
+// RegisterOp is one scripted register operation of Workload.Scripts.
+type RegisterOp struct {
+	// Write selects a write of Val; false means a read.
+	Write bool
+	// Val is the value to write (writes only).
+	Val string
+	// After delays the start of the operation relative to the end of the
+	// previous one (virtual time under the virtual engine).
+	After time.Duration
+}
+
+// WriteOp returns a scripted write.
+func WriteOp(val string) RegisterOp { return RegisterOp{Write: true, Val: val} }
+
+// ReadOp returns a scripted read.
+func ReadOp() RegisterOp { return RegisterOp{} }
+
+// Bounds caps a scenario run. The zero value keeps every protocol's
+// defaults (unbounded rounds, driver.DefaultTimeout for realtime runs,
+// sim.DefaultMaxSteps for virtual ones).
+type Bounds struct {
+	// MaxRounds bounds the rounds of each binary consensus execution
+	// (per instance, for the multivalued/smr reductions); 0 = unbounded.
+	MaxRounds int
+	// MaxInstances bounds the binary instances of the multivalued
+	// reduction; 0 = the protocol default.
+	MaxInstances int
+	// Timeout aborts blocked realtime-engine runs; 0 = the default. The
+	// virtual engine detects blocked runs by quiescence instead.
+	Timeout time.Duration
+	// MaxVirtualTime bounds the virtual clock; 0 = unbounded.
+	MaxVirtualTime time.Duration
+	// MaxSteps bounds the virtual engine's event count; 0 = the default,
+	// negative = unbounded.
+	MaxSteps int64
+}
+
+// ErrBadScenario reports an invalid scenario.
+var ErrBadScenario = errors.New("protocol: invalid scenario")
+
+// validate checks the scenario against a protocol's declared capabilities.
+// Workload shape and sizes are validated by the protocol's own Config
+// validation after compilation; this layer rejects the structural
+// mismatches that would otherwise surface as panics or silent no-ops.
+func (sc *Scenario) validate(info Info) error {
+	if info.NeedsPartition && sc.Topology.Partition == nil {
+		return fmt.Errorf("%w: protocol %q needs Topology.Partition", ErrBadScenario, info.Name)
+	}
+	if info.NeedsGraph && len(sc.Topology.MMEdges) == 0 {
+		return fmt.Errorf("%w: protocol %q needs Topology.MMEdges (an edgeless graph is a degenerate topology; build it through the protocol's own Config if you really mean it)", ErrBadScenario, info.Name)
+	}
+	n, err := sc.Topology.Procs()
+	if err != nil {
+		return fmt.Errorf("protocol %q: %w", info.Name, err)
+	}
+	if err := sc.Faults.ValidateFor(n); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadScenario, err)
+	}
+	if !info.StageCrashes && sc.Faults.HasStepPoints() {
+		return fmt.Errorf("%w: protocol %q does not honor step-point crash plans (use Schedule.SetTimed)", ErrBadScenario, info.Name)
+	}
+	if !info.TimedCrashes && sc.Faults.HasTimed() {
+		return fmt.Errorf("%w: protocol %q does not honor timed crash plans", ErrBadScenario, info.Name)
+	}
+	if !info.HasNetwork && sc.Profile != nil {
+		return fmt.Errorf("%w: protocol %q has no message network; drop the Profile", ErrBadScenario, info.Name)
+	}
+	if sc.Algorithm != "" {
+		found := false
+		for _, a := range info.Algorithms {
+			if a == sc.Algorithm {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("%w: protocol %q has no algorithm %q (available: %v)", ErrBadScenario, info.Name, sc.Algorithm, info.Algorithms)
+		}
+	}
+	if !info.Traceable && sc.Trace != nil {
+		return fmt.Errorf("%w: protocol %q does not record traces", ErrBadScenario, info.Name)
+	}
+	return nil
+}
+
+// NetOptions compiles the scenario's network profile into netsim options
+// for the protocol's network constructor. Protocol adapters call it with
+// their resolved process count and (possibly nil) partition.
+func (sc *Scenario) NetOptions(n int, part *model.Partition) ([]netsim.Option, error) {
+	if sc.Profile == nil {
+		return nil, nil
+	}
+	fn, err := sc.Profile.Compile(n, part)
+	if err != nil {
+		return nil, fmt.Errorf("%w: profile %q: %v", ErrBadScenario, sc.Profile.ProfileName(), err)
+	}
+	if fn == nil {
+		return nil, nil
+	}
+	return []netsim.Option{netsim.WithTimedDelayFn(fn)}, nil
+}

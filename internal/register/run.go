@@ -131,6 +131,10 @@ type Config struct {
 	MaxSteps int64
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
 }
 
 // ErrBadConfig reports an invalid scripted-run configuration.
@@ -365,7 +369,7 @@ func Run(cfg Config) (*Result, error) {
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x5ca1_ab1e, &ctr, cfg.MinDelay, cfg.MaxDelay),
+	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x5ca1_ab1e, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {
 			c := &client{
 				id:       model.ProcID(i),
