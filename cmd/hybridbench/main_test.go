@@ -62,6 +62,78 @@ func TestRunJSON(t *testing.T) {
 	}
 }
 
+func TestRunSearchMode(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	err := run([]string{"-search", "-search-budget", "120", "-search-batch", "40", "-seed", "9"}, &out)
+	if err != nil {
+		t.Fatalf("run -search: %v", err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"adversarial schedule search", "protocol hybrid, n=8",
+		"worst schedule", "replay: outcome reproduced bit-for-bit",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSearchJSON(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-search", "-search-budget", "80", "-json", "-search-objective", "rounds"}, &out); err != nil {
+		t.Fatalf("run -search -json: %v", err)
+	}
+	var doc struct {
+		Search *struct {
+			Protocol   string `json:"protocol"`
+			Budget     int    `json:"budget"`
+			Objective  string `json:"objective"`
+			Decided    int    `json:"decided"`
+			BoundedOut int    `json:"bounded_out"`
+			Reproduced bool   `json:"reproduced"`
+			Worst      struct {
+				Seed      int64            `json:"seed"`
+				Verdict   string           `json:"verdict"`
+				CrashesNS map[string]int64 `json:"crashes_ns"`
+			} `json:"worst"`
+		} `json:"search"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("output is not JSON: %v\n%s", err, out.String())
+	}
+	if doc.Search == nil {
+		t.Fatal("no search document")
+	}
+	if doc.Search.Protocol != "hybrid" || doc.Search.Budget != 80 || doc.Search.Objective != "rounds" {
+		t.Fatalf("search doc = %+v", doc.Search)
+	}
+	if !doc.Search.Reproduced {
+		t.Fatal("worst finding did not reproduce")
+	}
+	if doc.Search.Worst.Verdict == "" || len(doc.Search.Worst.CrashesNS) == 0 {
+		t.Fatalf("worst finding incomplete: %+v", doc.Search.Worst)
+	}
+}
+
+func TestRunSearchBadFlags(t *testing.T) {
+	t.Parallel()
+	for _, args := range [][]string{
+		{"-search", "-search-objective", "entropy"},
+		{"-search", "-search-strategy", "chaos"},
+		{"-search", "-search-protocol", "paxos"},
+		{"-search", "-search-budget", "0"},
+		{"-search", "-search-crashes", "99"},
+	} {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("%v accepted", args)
+		}
+	}
+}
+
 func TestRunUnknownExperiment(t *testing.T) {
 	t.Parallel()
 	var out strings.Builder

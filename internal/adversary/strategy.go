@@ -1,0 +1,199 @@
+package adversary
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"strings"
+	"time"
+
+	"allforone/internal/failures"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/protocol"
+)
+
+// Strategy derives the next probe from the incumbent scenario. Mutate
+// receives the incumbent by value and must not modify data the incumbent
+// points to (partitions, schedules, profiles are treated as immutable;
+// mutations build replacements). Strategies may keep internal counters —
+// probe generation is sequential — but all randomness must come from rng,
+// so a search replays bit-for-bit from its seed.
+type Strategy interface {
+	// Name names the strategy for reports.
+	Name() string
+	// Mutate derives one probe scenario from the incumbent.
+	Mutate(rng *rand.Rand, sc protocol.Scenario) (protocol.Scenario, error)
+}
+
+// ---------------------------------------------------------------------------
+// seed enumeration
+
+type seedHop struct{}
+
+// SeedHop explores the protocol's own randomness: each probe redraws the
+// scenario seed, leaving topology, profile, and faults untouched.
+func SeedHop() Strategy { return seedHop{} }
+
+func (seedHop) Name() string { return "seed" }
+
+func (seedHop) Mutate(rng *rand.Rand, sc protocol.Scenario) (protocol.Scenario, error) {
+	sc.Seed = int64(rng.Uint64())
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// skew-matrix perturbation with random restarts
+
+type skewMutation struct {
+	max     time.Duration
+	entries int
+	restart int
+}
+
+// SkewMutation searches the deterministic per-link delay space: it
+// replaces the scenario's profile with a SkewMatrix and perturbs it. On
+// average one probe in restartEvery draws a completely fresh random
+// matrix (a random restart, escaping local optima — drawn from rng, so
+// the strategy carries no state and a Search replays from its seed);
+// other probes redraw `entries` off-diagonal entries of the incumbent
+// matrix (the local step). All entries stay in [0, max]. entries ≤ 0
+// defaults to n/2+1; restartEvery ≤ 0 defaults to 25.
+//
+// Scenarios whose incumbent profile is not a SkewMatrix (nil, uniform,
+// WAN, …) restart unconditionally: the strategy owns the profile axis and
+// confines the search to its deterministic subspace.
+func SkewMutation(max time.Duration, entries, restartEvery int) Strategy {
+	if restartEvery <= 0 {
+		restartEvery = 25
+	}
+	return &skewMutation{max: max, entries: entries, restart: restartEvery}
+}
+
+func (s *skewMutation) Name() string { return "skew" }
+
+func (s *skewMutation) Mutate(rng *rand.Rand, sc protocol.Scenario) (protocol.Scenario, error) {
+	n, err := sc.Topology.Procs()
+	if err != nil {
+		return sc, fmt.Errorf("adversary: skew mutation: %w", err)
+	}
+	cur, isSkew := protocol.SkewMatrixEntries(sc.Profile)
+	var next netsim.DelayMatrix
+	if !isSkew || len(cur) != n || rng.IntN(s.restart) == 0 {
+		next = netsim.RandomDelayMatrix(rng, n, s.max)
+	} else {
+		entries := s.entries
+		if entries <= 0 {
+			entries = n/2 + 1
+		}
+		next = netsim.DelayMatrix(cur).MutateEntries(rng, entries, s.max)
+	}
+	sc.Profile = protocol.SkewMatrix(next)
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// crash-instant jitter
+
+type crashJitter struct {
+	window time.Duration
+}
+
+// CrashJitter perturbs WHEN the scheduled crashes strike, never WHO
+// crashes: each timed crash instant moves by a uniform draw from
+// [-window, +window] (clamped at zero), via a rebuilt failures.Schedule.
+// Because the crash set is invariant, the scenario's liveness condition is
+// preserved — an undecided probe found under jitter is a genuine schedule
+// counterexample, not a trivially dead configuration. Scenarios without
+// timed crashes have nothing to jitter; the strategy hops the seed
+// instead, so a probe is never a verbatim re-measurement of the incumbent
+// (which would waste budget under Combine).
+func CrashJitter(window time.Duration) Strategy { return &crashJitter{window: window} }
+
+func (c *crashJitter) Name() string { return "crash" }
+
+func (c *crashJitter) Mutate(rng *rand.Rand, sc protocol.Scenario) (protocol.Scenario, error) {
+	if !sc.Faults.HasTimed() || c.window <= 0 {
+		sc.Seed = int64(rng.Uint64())
+		return sc, nil
+	}
+	next := failures.NewSchedule(sc.Faults.N())
+	for p := 0; p < sc.Faults.N(); p++ {
+		pid := model.ProcID(p)
+		if plan, ok := sc.Faults.Plan(pid); ok {
+			if err := next.Set(pid, plan); err != nil {
+				return sc, fmt.Errorf("adversary: crash jitter: %w", err)
+			}
+		}
+		at, ok := sc.Faults.TimedPlan(pid)
+		if !ok {
+			continue
+		}
+		at += time.Duration(rng.Int64N(int64(2*c.window)+1)) - c.window
+		if at < 0 {
+			at = 0
+		}
+		if err := next.SetTimed(pid, at); err != nil {
+			return sc, fmt.Errorf("adversary: crash jitter: %w", err)
+		}
+	}
+	sc.Faults = next
+	return sc, nil
+}
+
+// ---------------------------------------------------------------------------
+// composition
+
+type combined struct {
+	parts []Strategy
+}
+
+// Combine applies one of the given strategies per probe, chosen uniformly
+// at random — the standard way to sweep seed × skew × crash space at once.
+func Combine(parts ...Strategy) Strategy {
+	if len(parts) == 0 {
+		panic("adversary: Combine needs at least one strategy")
+	}
+	return &combined{parts: parts}
+}
+
+func (c *combined) Name() string {
+	names := make([]string, len(c.parts))
+	for i, p := range c.parts {
+		names[i] = p.Name()
+	}
+	return "combined(" + strings.Join(names, ",") + ")"
+}
+
+func (c *combined) Mutate(rng *rand.Rand, sc protocol.Scenario) (protocol.Scenario, error) {
+	return c.parts[rng.IntN(len(c.parts))].Mutate(rng, sc)
+}
+
+// DefaultStrategy is the search default: seed enumeration, skew-matrix
+// restarts/perturbation with entries up to maxDelay, and crash-instant
+// jitter of up to half maxDelay. A non-positive maxDelay defaults to
+// 200µs — ample to reorder deliveries at the virtual engine's scale.
+func DefaultStrategy(maxDelay time.Duration) Strategy {
+	if maxDelay <= 0 {
+		maxDelay = 200 * time.Microsecond
+	}
+	return Combine(SeedHop(), SkewMutation(maxDelay, 0, 0), CrashJitter(maxDelay/2))
+}
+
+// ParseStrategy resolves a strategy name as accepted by the CLIs: seed,
+// skew, crash, or combined (the default).
+func ParseStrategy(name string, maxDelay time.Duration) (Strategy, error) {
+	if maxDelay <= 0 {
+		maxDelay = 200 * time.Microsecond
+	}
+	switch name {
+	case "seed":
+		return SeedHop(), nil
+	case "skew":
+		return SkewMutation(maxDelay, 0, 0), nil
+	case "crash":
+		return CrashJitter(maxDelay / 2), nil
+	case "combined", "":
+		return DefaultStrategy(maxDelay), nil
+	}
+	return nil, fmt.Errorf("adversary: unknown strategy %q (want seed, skew, crash, or combined)", name)
+}

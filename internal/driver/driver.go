@@ -135,7 +135,19 @@ type Outcome struct {
 	// process could ever take another step — the deterministic "blocked
 	// forever" verdict.
 	Quiesced bool
+	// DeadlineExceeded / StepsExceeded report that the virtual engine cut
+	// the run short at the MaxVirtualTime / MaxSteps bound. A bounded-out
+	// run says nothing about the execution's fate — undecided processes
+	// might still have progressed — so these verdicts are kept distinct
+	// from Quiesced (genuine blocked-forever) and must never be conflated
+	// with it by callers classifying non-decision.
+	DeadlineExceeded bool
+	StepsExceeded    bool
 }
+
+// BoundedOut reports whether the run was cut short by an artificial bound
+// (MaxVirtualTime or MaxSteps) rather than ending on its own.
+func (o Outcome) BoundedOut() bool { return o.DeadlineExceeded || o.StepsExceeded }
 
 // Fill copies the engine-level fields into a sim.Result.
 func (o Outcome) Fill(res *sim.Result) {
@@ -143,6 +155,8 @@ func (o Outcome) Fill(res *sim.Result) {
 	res.VirtualTime = o.VirtualTime
 	res.Steps = o.Steps
 	res.Quiesced = o.Quiesced
+	res.DeadlineExceeded = o.DeadlineExceeded
+	res.StepsExceeded = o.StepsExceeded
 }
 
 // Handle is a process body's view of the engine driving it. Exactly one of
@@ -152,6 +166,19 @@ type Handle struct {
 	proc   *vclock.Proc // the body's own coroutine (virtual engine)
 	done   <-chan struct{}
 	killed *atomic.Bool
+	start  time.Time // run start (realtime engine), for Now
+}
+
+// Now returns the run clock: the virtual clock under the virtual engine
+// (exact and deterministic), wall time since the run started under the
+// realtime one. Protocols use it to timestamp externally visible events —
+// e.g. the register run tags every operation's invocation and response
+// instants so histories can be checked for linearizability.
+func (h *Handle) Now() time.Duration {
+	if h.clock != nil {
+		return time.Duration(h.clock.Now())
+	}
+	return time.Since(h.start)
 }
 
 // Aborted reports whether the run has been aborted (realtime timeout, or
@@ -279,10 +306,12 @@ func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error
 		nw.Shutdown()
 	}
 	return Outcome{
-		Elapsed:     time.Duration(out.Now),
-		VirtualTime: time.Duration(out.Now),
-		Steps:       out.Steps,
-		Quiesced:    out.Quiesced,
+		Elapsed:          time.Duration(out.Now),
+		VirtualTime:      time.Duration(out.Now),
+		Steps:            out.Steps,
+		Quiesced:         out.Quiesced,
+		DeadlineExceeded: out.DeadlineExceeded,
+		StepsExceeded:    out.StepsExceeded,
 	}, nil
 }
 
@@ -316,7 +345,7 @@ func runRealtime(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, erro
 	var wg sync.WaitGroup
 	start := time.Now()
 	for i := 0; i < n; i++ {
-		h := &Handle{done: done, killed: &killed[i]}
+		h := &Handle{done: done, killed: &killed[i], start: start}
 		wg.Add(1)
 		go func(i int, h *Handle) {
 			defer wg.Done()

@@ -34,6 +34,23 @@ func Sweep(scs []protocol.Scenario, parallelism int) ([]*protocol.Outcome, error
 	return outs, nil
 }
 
+// SweepCollect executes every scenario on the same worker pool as Sweep
+// but never aborts: each scenario's outcome or error lands at its input
+// index, and both slices are returned in full. This is the entry point of
+// the adversarial schedule search (internal/adversary), where a failing
+// probe — e.g. a run whose safety check detected a genuine violation — is
+// the FINDING, not a reason to stop probing.
+func SweepCollect(scs []protocol.Scenario, parallelism int) ([]*protocol.Outcome, []error) {
+	outs := make([]*protocol.Outcome, len(scs))
+	errs := make([]error, len(scs))
+	// fn never returns an error, so forEachParallel never short-circuits.
+	_ = forEachParallel(parallelism, len(scs), func(i int) error {
+		outs[i], errs[i] = protocol.Run(scs[i])
+		return nil
+	})
+	return outs, errs
+}
+
 // SweepCore executes raw hybrid core.Configs — the pre-Scenario sweep,
 // kept for callers needing core-only knobs (coin overrides, ablations)
 // that the declarative Scenario deliberately does not expose.

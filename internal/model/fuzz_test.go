@@ -1,0 +1,55 @@
+package model
+
+import (
+	"testing"
+)
+
+// FuzzParse drives the partition-spec parser with arbitrary input. The
+// seed corpus is the table of TestParse / TestParseErrorPaths; the
+// properties are: no panic, and every accepted spec round-trips through
+// Spec() to an equivalent partition.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"1-3/4-5/6-7", "1/2-5/6-7", "1,2/3", "1,3/2,4-5",
+		"", "1//2", "a/1", "3-1", "x-3", "1-y", "1,1/2",
+		"1-3/3-5", "1/1", "1-2/4-5", "1/3", "0/1", "-2/1",
+		"   ", "1-2/", ",,,", "5-3", "1.5/2", "1-4/2-3",
+		"1-4096", "1 - 3 / 4 - 5", "١/٢",
+		"1-999999999", "0-9223372036854775807",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if p.N() <= 0 || p.M() <= 0 {
+			t.Fatalf("Parse(%q) accepted an empty partition: n=%d m=%d", spec, p.N(), p.M())
+		}
+		// Round trip: the canonical spec must reparse to the same partition.
+		canon := p.Spec()
+		q, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("Parse(%q).Spec() = %q does not reparse: %v", spec, canon, err)
+		}
+		if q.Spec() != canon {
+			t.Fatalf("round trip mismatch for %q: %q vs %q", spec, canon, q.Spec())
+		}
+		// Partition laws: every member maps back to the cluster listing it,
+		// and the member lists cover all n processes (one O(n) pass — specs
+		// can describe up to MaxParseProcs processes).
+		covered := 0
+		for x := 0; x < p.M(); x++ {
+			for _, m := range p.Members(ClusterID(x)) {
+				if p.ClusterOf(m) != ClusterID(x) {
+					t.Fatalf("Parse(%q): process %v listed in cluster %d but maps to %d", spec, m, x, p.ClusterOf(m))
+				}
+				covered++
+			}
+		}
+		if covered != p.N() {
+			t.Fatalf("Parse(%q): member lists cover %d of %d processes", spec, covered, p.N())
+		}
+	})
+}

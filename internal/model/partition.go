@@ -143,6 +143,13 @@ func Fig1Right() *Partition {
 	return MustPartition([][]int{{0}, {1, 2, 3, 4}, {5, 6}})
 }
 
+// MaxParseProcs bounds the process count a Parse spec may describe: a
+// range like "1-999999999" would otherwise materialize gigabytes of
+// member indexes before the partition laws could reject it (found by
+// FuzzParse). Simulations near this scale should build partitions
+// programmatically (Blocks, NewPartition).
+const MaxParseProcs = 1 << 20
+
 // Parse builds a partition from a compact 1-based spec such as
 // "1-3/4-5/6-7" (Figure 1 left) or "1/2-5/6,7". Clusters are separated by
 // '/'; inside a cluster, ',' separates items and 'a-b' denotes a closed
@@ -151,6 +158,7 @@ func Parse(spec string) (*Partition, error) {
 	if strings.TrimSpace(spec) == "" {
 		return nil, ErrEmptyPartition
 	}
+	total := 0
 	var clusters [][]int
 	for _, cl := range strings.Split(spec, "/") {
 		var members []int
@@ -170,6 +178,15 @@ func Parse(spec string) (*Partition, error) {
 				}
 				if b < a {
 					return nil, fmt.Errorf("model: inverted range %q", item)
+				}
+				// Check the span before accumulating: a and b are non-negative
+				// (a leading '-' splits the range earlier and fails Atoi), so
+				// b-a cannot overflow, but b-a+1 and the running total could.
+				if b-a >= MaxParseProcs {
+					return nil, fmt.Errorf("model: spec describes more than %d processes", MaxParseProcs)
+				}
+				if total += b - a + 1; total > MaxParseProcs {
+					return nil, fmt.Errorf("model: spec describes more than %d processes", MaxParseProcs)
 				}
 				for v := a; v <= b; v++ {
 					members = append(members, v-1) // spec is 1-based

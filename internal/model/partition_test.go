@@ -203,6 +203,9 @@ func TestParseErrorPaths(t *testing.T) {
 		{"non-numeric range end", "1-y", nil},
 		{"float member", "1.5/2", nil},
 		{"huge overlap via ranges", "1-4/2-3", ErrNotPartition},
+		{"range memory bomb", "1-999999999", nil},
+		{"range overflow bomb", "0-9223372036854775807", nil},
+		{"cumulative range bomb", "1-1000000/1000001-2000000", nil},
 	}
 	for _, tt := range tests {
 		t.Run(tt.name, func(t *testing.T) {

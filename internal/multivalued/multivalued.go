@@ -109,6 +109,11 @@ type Result struct {
 	VirtualTime time.Duration
 	Steps       int64
 	Quiesced    bool
+	// DeadlineExceeded / StepsExceeded report a bounded-out run — cut short
+	// at a MaxVirtualTime / MaxSteps budget, inconclusive about liveness
+	// (see sim.Result).
+	DeadlineExceeded bool
+	StepsExceeded    bool
 }
 
 // Decided returns the decided value and how many processes decided it.
@@ -491,12 +496,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Procs:       make([]ProcResult, n),
-		Metrics:     ctr.Read(),
-		Elapsed:     out.Elapsed,
-		VirtualTime: out.VirtualTime,
-		Steps:       out.Steps,
-		Quiesced:    out.Quiesced,
+		Procs:            make([]ProcResult, n),
+		Metrics:          ctr.Read(),
+		Elapsed:          out.Elapsed,
+		VirtualTime:      out.VirtualTime,
+		Steps:            out.Steps,
+		Quiesced:         out.Quiesced,
+		DeadlineExceeded: out.DeadlineExceeded,
+		StepsExceeded:    out.StepsExceeded,
 	}
 	for i, o := range outcomes {
 		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Rounds: o.rounds}

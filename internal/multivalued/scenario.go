@@ -43,14 +43,16 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		return nil, err
 	}
 	out := &protocol.Outcome{
-		Protocol:    ProtocolName,
-		Procs:       make([]protocol.ProcOutcome, len(res.Procs)),
-		Metrics:     res.Metrics,
-		Elapsed:     res.Elapsed,
-		VirtualTime: res.VirtualTime,
-		Steps:       res.Steps,
-		Quiesced:    res.Quiesced,
-		Raw:         res,
+		Protocol:         ProtocolName,
+		Procs:            make([]protocol.ProcOutcome, len(res.Procs)),
+		Metrics:          res.Metrics,
+		Elapsed:          res.Elapsed,
+		VirtualTime:      res.VirtualTime,
+		Steps:            res.Steps,
+		Quiesced:         res.Quiesced,
+		DeadlineExceeded: res.DeadlineExceeded,
+		StepsExceeded:    res.StepsExceeded,
+		Raw:              res,
 	}
 	for i, pr := range res.Procs {
 		po := protocol.ProcOutcome{Status: pr.Status, Round: pr.Rounds}

@@ -1,0 +1,102 @@
+package netsim
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"time"
+)
+
+// DelayMatrix is an explicit n×n per-link delay table: m[i][j] is the
+// transit time of messages from process i to process j (possibly
+// asymmetric). It is the mutation substrate of adversarial schedule
+// search: because a matrix fixes every link deterministically, perturbing
+// entries explores the space of delivery orders directly, with no random
+// jitter diluting the perturbation.
+type DelayMatrix [][]time.Duration
+
+// NewDelayMatrix returns an all-zero (immediate delivery) n×n matrix.
+func NewDelayMatrix(n int) DelayMatrix {
+	m := make(DelayMatrix, n)
+	for i := range m {
+		m[i] = make([]time.Duration, n)
+	}
+	return m
+}
+
+// RandomDelayMatrix draws every off-diagonal entry uniformly from
+// [0, max] — the "random restart" step of a schedule search. Self-delays
+// (the loopback of a broadcast) stay zero: a process's message to itself
+// models a local step. A non-positive max yields the zero matrix.
+func RandomDelayMatrix(rng *rand.Rand, n int, max time.Duration) DelayMatrix {
+	m := NewDelayMatrix(n)
+	if max <= 0 {
+		return m
+	}
+	for i := range m {
+		for j := range m[i] {
+			if i == j {
+				continue
+			}
+			m[i][j] = time.Duration(rng.Int64N(int64(max) + 1))
+		}
+	}
+	return m
+}
+
+// Clone returns a deep copy of the matrix.
+func (m DelayMatrix) Clone() DelayMatrix {
+	out := make(DelayMatrix, len(m))
+	for i, row := range m {
+		out[i] = append([]time.Duration(nil), row...)
+	}
+	return out
+}
+
+// MutateEntries returns a copy of the matrix with k off-diagonal entries
+// redrawn uniformly from [0, max] — the local-search step of a schedule
+// search. The receiver is not modified. k is clamped to the number of
+// off-diagonal entries; a matrix smaller than 2×2 is returned unchanged.
+func (m DelayMatrix) MutateEntries(rng *rand.Rand, k int, max time.Duration) DelayMatrix {
+	out := m.Clone()
+	n := len(out)
+	if n < 2 || k <= 0 || max < 0 {
+		return out
+	}
+	if cells := n * (n - 1); k > cells {
+		k = cells
+	}
+	for t := 0; t < k; t++ {
+		i := rng.IntN(n)
+		j := rng.IntN(n - 1)
+		if j >= i {
+			j++ // skip the diagonal
+		}
+		if max == 0 {
+			out[i][j] = 0
+			continue
+		}
+		out[i][j] = time.Duration(rng.Int64N(int64(max) + 1))
+	}
+	return out
+}
+
+// Validate checks the matrix is square with the given side and free of
+// negative entries — the same laws the skew-matrix network profile
+// enforces at compile time, exposed so mutation pipelines can check their
+// own output.
+func (m DelayMatrix) Validate(n int) error {
+	if len(m) != n {
+		return fmt.Errorf("netsim: matrix is %dx?, want %dx%d", len(m), n, n)
+	}
+	for i, row := range m {
+		if len(row) != n {
+			return fmt.Errorf("netsim: matrix row %d has %d entries, want %d", i, len(row), n)
+		}
+		for j, d := range row {
+			if d < 0 {
+				return fmt.Errorf("netsim: negative delay at [%d][%d]", i, j)
+			}
+		}
+	}
+	return nil
+}

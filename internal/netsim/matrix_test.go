@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"math/rand/v2"
+	"testing"
+	"time"
+)
+
+func TestDelayMatrixRandomAndValidate(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(1, 2))
+	m := RandomDelayMatrix(rng, 5, 100*time.Microsecond)
+	if err := m.Validate(5); err != nil {
+		t.Fatalf("random matrix invalid: %v", err)
+	}
+	for i := range m {
+		if m[i][i] != 0 {
+			t.Errorf("self-delay [%d][%d] = %v, want 0", i, i, m[i][i])
+		}
+		for j := range m[i] {
+			if m[i][j] > 100*time.Microsecond {
+				t.Errorf("entry [%d][%d] = %v exceeds max", i, j, m[i][j])
+			}
+		}
+	}
+	if err := m.Validate(4); err == nil {
+		t.Error("wrong side accepted")
+	}
+	m[1][2] = -1
+	if err := m.Validate(5); err == nil {
+		t.Error("negative entry accepted")
+	}
+}
+
+func TestDelayMatrixMutateEntries(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(3, 4))
+	base := RandomDelayMatrix(rng, 6, time.Millisecond)
+	mut := base.MutateEntries(rng, 4, time.Millisecond)
+	if err := mut.Validate(6); err != nil {
+		t.Fatalf("mutated matrix invalid: %v", err)
+	}
+	// The receiver must be untouched and the diagonal must stay zero.
+	changed := 0
+	for i := range base {
+		if mut[i][i] != 0 {
+			t.Errorf("mutation touched diagonal [%d][%d]", i, i)
+		}
+		for j := range base[i] {
+			if base[i][j] != mut[i][j] {
+				changed++
+			}
+		}
+	}
+	if changed == 0 {
+		t.Error("mutation changed nothing")
+	}
+	if changed > 4 {
+		t.Errorf("mutation changed %d entries, want ≤ 4", changed)
+	}
+	again := base.Clone()
+	for i := range base {
+		for j := range base[i] {
+			if again[i][j] != base[i][j] {
+				t.Fatal("clone differs")
+			}
+		}
+	}
+}
+
+func TestDelayMatrixDegenerate(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewPCG(5, 6))
+	one := NewDelayMatrix(1)
+	if got := one.MutateEntries(rng, 3, time.Millisecond); len(got) != 1 || got[0][0] != 0 {
+		t.Errorf("1x1 mutation = %v", got)
+	}
+	zero := RandomDelayMatrix(rng, 3, 0)
+	for i := range zero {
+		for j := range zero[i] {
+			if zero[i][j] != 0 {
+				t.Errorf("zero-max matrix has entry [%d][%d] = %v", i, j, zero[i][j])
+			}
+		}
+	}
+}

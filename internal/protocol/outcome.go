@@ -38,6 +38,13 @@ type Outcome struct {
 	VirtualTime time.Duration
 	Steps       int64
 	Quiesced    bool
+	// DeadlineExceeded / StepsExceeded report that the virtual engine cut
+	// the run short at a Bounds.MaxVirtualTime / Bounds.MaxSteps bound —
+	// the INCONCLUSIVE verdict, kept distinct from Quiesced (genuine
+	// blocked-forever) so schedule searches never mistake a budget
+	// exhaustion for a liveness counterexample.
+	DeadlineExceeded bool
+	StepsExceeded    bool
 	// Raw is the protocol's native result value.
 	Raw any
 }
@@ -51,14 +58,16 @@ const LogSep = "\x1f"
 // consensus runner) into the uniform Outcome. Protocol adapters call it.
 func BinaryOutcome(name string, res *sim.Result) *Outcome {
 	out := &Outcome{
-		Protocol:    name,
-		Procs:       make([]ProcOutcome, len(res.Procs)),
-		Metrics:     res.Metrics,
-		Elapsed:     res.Elapsed,
-		VirtualTime: res.VirtualTime,
-		Steps:       res.Steps,
-		Quiesced:    res.Quiesced,
-		Raw:         res,
+		Protocol:         name,
+		Procs:            make([]ProcOutcome, len(res.Procs)),
+		Metrics:          res.Metrics,
+		Elapsed:          res.Elapsed,
+		VirtualTime:      res.VirtualTime,
+		Steps:            res.Steps,
+		Quiesced:         res.Quiesced,
+		DeadlineExceeded: res.DeadlineExceeded,
+		StepsExceeded:    res.StepsExceeded,
+		Raw:              res,
 	}
 	for i, pr := range res.Procs {
 		po := ProcOutcome{Status: pr.Status, Round: pr.Round}
@@ -112,6 +121,24 @@ func (o *Outcome) MaxDecisionRound() int {
 		}
 	}
 	return max
+}
+
+// BoundedOut reports whether the run was cut short by an artificial bound
+// (Bounds.MaxVirtualTime or Bounds.MaxSteps) rather than deciding or
+// quiescing on its own — the inconclusive cost verdict consumed by
+// adversarial schedule searches.
+func (o *Outcome) BoundedOut() bool { return o.DeadlineExceeded || o.StepsExceeded }
+
+// Undecided returns how many processes ended neither decided nor crashed —
+// the processes a liveness objective counts against the schedule.
+func (o *Outcome) Undecided() int {
+	n := 0
+	for _, pr := range o.Procs {
+		if pr.Status != sim.StatusDecided && pr.Status != sim.StatusCrashed {
+			n++
+		}
+	}
+	return n
 }
 
 // CheckAgreement verifies that no two decided processes decided

@@ -73,6 +73,19 @@ func SkewMatrix(delay [][]time.Duration) NetworkProfile {
 	return &skewMatrixProfile{delay: delay}
 }
 
+// SkewMatrixEntries returns the delay table of a SkewMatrix profile and
+// true, or nil and false for any other profile (including nil). The
+// returned slice is the profile's own table — callers that mutate it must
+// clone first (netsim.DelayMatrix.Clone); the adversarial schedule search
+// uses it to read the incumbent schedule before perturbing a copy.
+func SkewMatrixEntries(p NetworkProfile) ([][]time.Duration, bool) {
+	s, ok := p.(*skewMatrixProfile)
+	if !ok {
+		return nil, false
+	}
+	return s.delay, true
+}
+
 func (s *skewMatrixProfile) ProfileName() string {
 	return fmt.Sprintf("skew-matrix[%dx%d]", len(s.delay), len(s.delay))
 }

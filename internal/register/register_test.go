@@ -3,7 +3,6 @@ package register
 import (
 	"errors"
 	"fmt"
-	"sync"
 	"testing"
 	"time"
 
@@ -96,99 +95,6 @@ func TestSequentialWritesLastWins(t *testing.T) {
 	}
 	if got != "v3" {
 		t.Errorf("Read = %q, want v3 (last sequential write)", got)
-	}
-}
-
-// Single writer, concurrent reader: the observed sequence must be
-// monotonically non-decreasing — the no-new-old-inversion guarantee that
-// distinguishes atomic from merely regular registers.
-func TestSingleWriterReaderMonotonicity(t *testing.T) {
-	t.Parallel()
-	sys, err := New(model.Fig1Left(), Options{Seed: 4, MaxDelay: 300 * time.Microsecond})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sys.Shutdown()
-
-	const writes = 40
-	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() {
-		defer wg.Done()
-		for i := 1; i <= writes; i++ {
-			if err := sys.Handle(0).Write(fmt.Sprintf("%04d", i)); err != nil {
-				t.Errorf("Write %d: %v", i, err)
-				return
-			}
-		}
-	}()
-
-	reader := sys.Handle(4)
-	last := ""
-	for i := 0; i < 80; i++ {
-		got, err := reader.Read()
-		if err != nil {
-			t.Fatalf("Read %d: %v", i, err)
-		}
-		if got < last { // lexicographic on zero-padded counters
-			t.Fatalf("new-old inversion: read %q after %q", got, last)
-		}
-		last = got
-	}
-	wg.Wait()
-}
-
-// Concurrent writers: every read returns some written value (or initial),
-// and after quiescence all processes agree on one final value.
-func TestConcurrentWritersConverge(t *testing.T) {
-	t.Parallel()
-	part := model.MustPartition([][]int{{0, 1, 2}, {3, 4}, {5}})
-	sys, err := New(part, Options{Seed: 5})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer sys.Shutdown()
-
-	valid := map[string]bool{"": true}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	for w := 0; w < part.N(); w++ {
-		for k := 0; k < 5; k++ {
-			v := fmt.Sprintf("w%d-%d", w, k)
-			mu.Lock()
-			valid[v] = true
-			mu.Unlock()
-		}
-	}
-	for w := 0; w < part.N(); w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for k := 0; k < 5; k++ {
-				if err := sys.Handle(model.ProcID(w)).Write(fmt.Sprintf("w%d-%d", w, k)); err != nil {
-					t.Errorf("Write: %v", err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	final, err := sys.Handle(0).Read()
-	if err != nil {
-		t.Fatalf("Read: %v", err)
-	}
-	if !valid[final] {
-		t.Fatalf("final value %q was never written", final)
-	}
-	for p := 1; p < part.N(); p++ {
-		got, err := sys.Handle(model.ProcID(p)).Read()
-		if err != nil {
-			t.Fatalf("Read at %d: %v", p, err)
-		}
-		if got != final {
-			t.Errorf("quiescent reads disagree: %q vs %q", got, final)
-		}
 	}
 }
 

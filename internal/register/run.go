@@ -71,6 +71,13 @@ type OpResult struct {
 	// OK reports whether the operation completed. Operations after the
 	// first failed one are not attempted and absent from the results.
 	OK bool
+	// Start / End are the operation's invocation and response instants on
+	// the run clock: exact virtual instants under the virtual engine (so
+	// histories are deterministic), wall time since the run started under
+	// the realtime one. For failed operations End is when the failure was
+	// recorded — the response never reached the caller, so linearizability
+	// checking treats the operation's window as open-ended.
+	Start, End time.Duration
 }
 
 // ProcResult is one process's view of a scripted run. Status uses the
@@ -100,6 +107,11 @@ type Result struct {
 	VirtualTime time.Duration
 	Steps       int64
 	Quiesced    bool
+	// DeadlineExceeded / StepsExceeded report a bounded-out run — cut short
+	// at a MaxVirtualTime / MaxSteps budget, inconclusive about the fate of
+	// interrupted operations (see sim.Result).
+	DeadlineExceeded bool
+	StepsExceeded    bool
 }
 
 // Config describes one scripted register execution.
@@ -257,14 +269,15 @@ func (c *client) collectUpdate(pair tagged) bool {
 	return true
 }
 
-// fail records the failure status of an interrupted operation.
-func (c *client) fail(op Op) {
+// fail records the failure status of an operation interrupted after being
+// invoked at start.
+func (c *client) fail(op Op, start time.Duration) {
 	if c.h.Killed() {
 		c.status = sim.StatusCrashed
 	} else {
 		c.status = sim.StatusBlocked
 	}
-	c.ops = append(c.ops, OpResult{Kind: op.Kind, Val: op.Val, OK: false})
+	c.ops = append(c.ops, OpResult{Kind: op.Kind, Val: op.Val, OK: false, Start: start, End: c.h.Now()})
 }
 
 // allLiveDone reports whether every live process announced script
@@ -283,34 +296,35 @@ func (c *client) allLiveDone() bool {
 func (c *client) run(script []Op) {
 	for _, op := range script {
 		if op.After > 0 && !c.h.Sleep(op.After) {
-			c.fail(op)
+			c.fail(op, c.h.Now())
 			return
 		}
 		if c.h.Killed() {
-			c.fail(op)
+			c.fail(op, c.h.Now())
 			return
 		}
+		start := c.h.Now()
 		cur, ok := c.collectQuery()
 		if !ok {
-			c.fail(op)
+			c.fail(op, start)
 			return
 		}
 		switch op.Kind {
 		case OpWrite:
 			next := tagged{TS: Timestamp{Counter: cur.TS.Counter + 1, Writer: c.id}, Val: op.Val}
 			if !c.collectUpdate(next) {
-				c.fail(op)
+				c.fail(op, start)
 				return
 			}
-			c.ops = append(c.ops, OpResult{Kind: OpWrite, Val: op.Val, OK: true})
+			c.ops = append(c.ops, OpResult{Kind: OpWrite, Val: op.Val, OK: true, Start: start, End: c.h.Now()})
 		case OpRead:
 			// Write-back (ABD repair): ensure the value is majority-replicated
 			// before returning, so later reads cannot observe older state.
 			if !c.collectUpdate(cur) {
-				c.fail(op)
+				c.fail(op, start)
 				return
 			}
-			c.ops = append(c.ops, OpResult{Kind: OpRead, Val: cur.Val, OK: true})
+			c.ops = append(c.ops, OpResult{Kind: OpRead, Val: cur.Val, OK: true, Start: start, End: c.h.Now()})
 		}
 	}
 	c.status = sim.StatusDecided
@@ -389,12 +403,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Procs:       make([]ProcResult, n),
-		Metrics:     ctr.Read(),
-		Elapsed:     out.Elapsed,
-		VirtualTime: out.VirtualTime,
-		Steps:       out.Steps,
-		Quiesced:    out.Quiesced,
+		Procs:            make([]ProcResult, n),
+		Metrics:          ctr.Read(),
+		Elapsed:          out.Elapsed,
+		VirtualTime:      out.VirtualTime,
+		Steps:            out.Steps,
+		Quiesced:         out.Quiesced,
+		DeadlineExceeded: out.DeadlineExceeded,
+		StepsExceeded:    out.StepsExceeded,
 	}
 	for i, c := range clients {
 		res.Procs[i] = ProcResult{Status: c.status, Ops: c.ops}

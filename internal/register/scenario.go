@@ -54,14 +54,16 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		return nil, err
 	}
 	out := &protocol.Outcome{
-		Protocol:    ProtocolName,
-		Procs:       make([]protocol.ProcOutcome, len(res.Procs)),
-		Metrics:     res.Metrics,
-		Elapsed:     res.Elapsed,
-		VirtualTime: res.VirtualTime,
-		Steps:       res.Steps,
-		Quiesced:    res.Quiesced,
-		Raw:         res,
+		Protocol:         ProtocolName,
+		Procs:            make([]protocol.ProcOutcome, len(res.Procs)),
+		Metrics:          res.Metrics,
+		Elapsed:          res.Elapsed,
+		VirtualTime:      res.VirtualTime,
+		Steps:            res.Steps,
+		Quiesced:         res.Quiesced,
+		DeadlineExceeded: res.DeadlineExceeded,
+		StepsExceeded:    res.StepsExceeded,
+		Raw:              res,
 	}
 	for i, pr := range res.Procs {
 		// Register runs have no consensus decision; Decision stays empty

@@ -130,7 +130,20 @@ type Result struct {
 	// with no pending events) — the deterministic "blocked forever"
 	// verdict, e.g. when the liveness condition does not hold.
 	Quiesced bool
+	// DeadlineExceeded / StepsExceeded report that the virtual engine cut
+	// the run short at the MaxVirtualTime / MaxSteps bound. Unlike
+	// Quiesced, a bounded-out run is INCONCLUSIVE about liveness: the
+	// execution might have decided given more budget. Adversarial searches
+	// and experiment harnesses must classify these runs separately from
+	// genuine non-decision.
+	DeadlineExceeded bool
+	StepsExceeded    bool
 }
+
+// BoundedOut reports whether the run was cut short by an artificial bound
+// (MaxVirtualTime or MaxSteps) rather than deciding or quiescing on its
+// own — the inconclusive verdict, distinct from blocked-forever.
+func (r *Result) BoundedOut() bool { return r.DeadlineExceeded || r.StepsExceeded }
 
 // Decided returns the processes that decided and their (necessarily equal)
 // value. ok is false when no process decided.

@@ -51,14 +51,16 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		return nil, fmt.Errorf("smr: %w", err)
 	}
 	out := &protocol.Outcome{
-		Protocol:    ProtocolName,
-		Procs:       make([]protocol.ProcOutcome, len(res.Replicas)),
-		Metrics:     res.Metrics,
-		Elapsed:     res.Elapsed,
-		VirtualTime: res.VirtualTime,
-		Steps:       res.Steps,
-		Quiesced:    res.Quiesced,
-		Raw:         res,
+		Protocol:         ProtocolName,
+		Procs:            make([]protocol.ProcOutcome, len(res.Replicas)),
+		Metrics:          res.Metrics,
+		Elapsed:          res.Elapsed,
+		VirtualTime:      res.VirtualTime,
+		Steps:            res.Steps,
+		Quiesced:         res.Quiesced,
+		DeadlineExceeded: res.DeadlineExceeded,
+		StepsExceeded:    res.StepsExceeded,
+		Raw:              res,
 	}
 	for i, rr := range res.Replicas {
 		po := protocol.ProcOutcome{Status: rr.Status, Round: rr.Rounds}

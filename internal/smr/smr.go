@@ -103,6 +103,11 @@ type Result struct {
 	VirtualTime time.Duration
 	Steps       int64
 	Quiesced    bool
+	// DeadlineExceeded / StepsExceeded report a bounded-out run — cut short
+	// at a MaxVirtualTime / MaxSteps budget, inconclusive about liveness
+	// (see sim.Result).
+	DeadlineExceeded bool
+	StepsExceeded    bool
 }
 
 // CheckLogAgreement verifies that all replica logs agree slot-by-slot on
@@ -520,12 +525,14 @@ func Run(cfg Config) (*Result, error) {
 	}
 
 	res := &Result{
-		Replicas:    make([]ReplicaResult, n),
-		Metrics:     ctr.Read(),
-		Elapsed:     out.Elapsed,
-		VirtualTime: out.VirtualTime,
-		Steps:       out.Steps,
-		Quiesced:    out.Quiesced,
+		Replicas:         make([]ReplicaResult, n),
+		Metrics:          ctr.Read(),
+		Elapsed:          out.Elapsed,
+		VirtualTime:      out.VirtualTime,
+		Steps:            out.Steps,
+		Quiesced:         out.Quiesced,
+		DeadlineExceeded: out.DeadlineExceeded,
+		StepsExceeded:    out.StepsExceeded,
 	}
 	for i, o := range outcomes {
 		res.Replicas[i] = ReplicaResult{Status: o.status, Log: o.log, Rounds: o.rounds}

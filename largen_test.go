@@ -1,0 +1,146 @@
+package allforone
+
+// Large-n coverage (ROADMAP: "scale experiments past n≈32"): the hybrid
+// protocol and the Ben-Or baseline at n=128 under the two non-uniform
+// profiles that matter for schedule search — an explicit per-link skew
+// matrix and a partition healing at a virtual instant. Each cell is
+// checked three ways: safety on both engines (differential), liveness of
+// the virtual run, and bit-identical replay of the virtual run. Guarded by
+// testing.Short: the realtime legs sleep their delays for real.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"time"
+
+	"allforone/internal/netsim"
+)
+
+const largeN = 128
+
+// largeNWorkload builds the binary proposals. The hybrid protocol gets
+// mixed proposals (its common coin still converges in a few rounds at
+// n=128); Ben-Or gets unanimous ones — with mixed inputs its local coins
+// are in the exponential-convergence regime at this scale, and the test
+// targets the engine/profile/crash machinery, not coin luck.
+func largeNWorkload(n int, mixed bool) Workload {
+	w := Workload{}
+	for i := 0; i < n; i++ {
+		v := One
+		if mixed && i%4 == 0 {
+			v = Zero
+		}
+		w.Binary = append(w.Binary, v)
+	}
+	return w
+}
+
+// largeNProfiles returns the two profile axes. The skew matrix is drawn
+// once from a fixed seed: entries up to 40µs keep the realtime leg short
+// while still reordering deliveries aggressively.
+func largeNProfiles() []struct {
+	name string
+	p    NetworkProfile
+} {
+	rng := rand.New(rand.NewPCG(2024, 7))
+	matrix := netsim.RandomDelayMatrix(rng, largeN, 40*time.Microsecond)
+	return []struct {
+		name string
+		p    NetworkProfile
+	}{
+		{"skew-matrix", SkewMatrixProfile(matrix)},
+		{"healing-partition", HealingPartitionProfile(nil, 300*time.Microsecond, 0, 20*time.Microsecond)},
+	}
+}
+
+func largeNScenario(t *testing.T, protocolName string, prof NetworkProfile, eng Engine) Scenario {
+	t.Helper()
+	part, err := Blocks(largeN, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(largeN)
+	// A timed minority crash (8 processes, none a whole cluster) keeps the
+	// liveness condition intact while exercising crash bookkeeping at scale.
+	for p := 0; p < 8; p++ {
+		if err := sched.SetTimed(ProcID(p*16+1), 150*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Scenario{
+		Protocol: protocolName,
+		Topology: Topology{Partition: part},
+		Workload: largeNWorkload(largeN, protocolName == ProtocolHybrid),
+		Faults:   sched,
+		Profile:  prof,
+		Engine:   eng,
+		Seed:     1303,
+		Bounds:   Bounds{MaxRounds: 10_000, Timeout: 30 * time.Second},
+	}
+}
+
+// TestLargeNDifferentialAndReplay is the n=128 matrix: {hybrid, benor} ×
+// {skew matrix, healing partition} × {virtual twice (bit-repro), realtime
+// once (differential safety)}.
+func TestLargeNDifferentialAndReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=128 matrix skipped in -short mode")
+	}
+	t.Parallel()
+	for _, protocolName := range []string{ProtocolHybrid, ProtocolBenOr} {
+		for _, prof := range largeNProfiles() {
+			protocolName, prof := protocolName, prof
+			t.Run(fmt.Sprintf("%s/%s", protocolName, prof.name), func(t *testing.T) {
+				t.Parallel()
+				check := func(eng Engine, out *Outcome) {
+					t.Helper()
+					if out.BoundedOut() {
+						t.Fatalf("%v: run bounded out after %d steps", eng, out.Steps)
+					}
+					if err := out.CheckAgreement(); err != nil {
+						t.Fatalf("%v: %v", eng, err)
+					}
+					if err := out.CheckValidity([]string{"0", "1"}); err != nil {
+						t.Fatalf("%v: %v", eng, err)
+					}
+					if !out.AllLiveDecided() {
+						t.Fatalf("%v: live processes unfinished: decided %d, crashed %d, blocked %d of %d",
+							eng, out.CountStatus(StatusDecided), out.CountStatus(StatusCrashed),
+							out.CountStatus(StatusBlocked), largeN)
+					}
+				}
+
+				virt := largeNScenario(t, protocolName, prof.p, EngineVirtual)
+				first, err := Run(virt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(EngineVirtual, first)
+				if first.Steps == 0 || first.VirtualTime == 0 {
+					t.Fatalf("virtual run carries no clock: %+v", first)
+				}
+
+				// Bit-identical replay at n=128: the determinism contract
+				// must not erode with scale.
+				second, err := Run(largeNScenario(t, protocolName, prof.p, EngineVirtual))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(first, second) {
+					t.Fatalf("n=128 replay diverged:\n  first:  %+v\n  second: %+v", first, second)
+				}
+
+				// Engine differential: the realtime backend must stay safe
+				// and live on the same scenario (its outcome is wall-clock
+				// dependent, so only the properties are compared).
+				rt, err := Run(largeNScenario(t, protocolName, prof.p, EngineRealtime))
+				if err != nil {
+					t.Fatal(err)
+				}
+				check(EngineRealtime, rt)
+			})
+		}
+	}
+}
