@@ -20,6 +20,7 @@ import (
 	"io"
 	"os"
 	"reflect"
+	"runtime"
 	"strings"
 	"time"
 
@@ -33,14 +34,24 @@ import (
 )
 
 // jsonExperiment is one experiment's machine-readable record (-json): the
-// identity, wall-clock duration, and the keyed scalar findings the tables
-// are rendered from — the seed format for BENCH_*.json trajectory
-// tracking.
+// identity, wall-clock duration, the keyed scalar findings the tables are
+// rendered from — the seed format for BENCH_*.json trajectory tracking —
+// and the engine-work figures (events/sec, allocs/run) the -bench-compare
+// value gate trends across committed snapshots.
 type jsonExperiment struct {
 	ID       string             `json:"id"`
 	Title    string             `json:"title"`
 	Seconds  float64            `json:"seconds"`
 	Findings map[string]float64 `json:"findings"`
+	// Runs / Steps / EventsScheduled roll up the virtual scheduler's work
+	// over the experiment's trials (deterministic; zero under -engine
+	// realtime). EventsPerSec = Steps/Seconds and AllocsPerRun are
+	// machine-dependent throughput figures for trend tracking.
+	Runs            int     `json:"runs,omitempty"`
+	Steps           int64   `json:"steps,omitempty"`
+	EventsScheduled int64   `json:"events_scheduled,omitempty"`
+	EventsPerSec    float64 `json:"events_per_sec,omitempty"`
+	AllocsPerRun    float64 `json:"allocs_per_run,omitempty"`
 }
 
 // jsonFinding is the machine-readable form of an adversary finding: the
@@ -105,6 +116,8 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size for independent trials/probes (0 = all CPUs)")
 		asJSON   = fs.Bool("json", false, "emit machine-readable output instead of tables")
 
+		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on >25% events/sec regression")
+
 		search         = fs.Bool("search", false, "run the adversarial schedule search instead of the experiment suite")
 		searchProto    = fs.String("search-protocol", "hybrid", "registry protocol to attack")
 		searchN        = fs.Int("search-n", 8, "process count of the search topology")
@@ -118,6 +131,14 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *benchCompare {
+		files := fs.Args()
+		if len(files) != 2 {
+			return fmt.Errorf("-bench-compare wants exactly two snapshot files, got %d", len(files))
+		}
+		return runBenchCompare(files[0], files[1], out)
 	}
 
 	if *search {
@@ -156,17 +177,26 @@ func run(args []string, out io.Writer) error {
 	if *asJSON {
 		doc := jsonReport{Trials: opts.Trials, SeedBase: opts.SeedBase, Engine: eng.String()}
 		for _, id := range ids {
-			start := time.Now()
-			rep, err := harness.Run(id, opts)
+			rep, m, err := runInstrumented(id, opts)
 			if err != nil {
-				return fmt.Errorf("%s: %w", id, err)
+				return err
 			}
-			doc.Experiments = append(doc.Experiments, jsonExperiment{
-				ID:       rep.ID,
-				Title:    rep.Title,
-				Seconds:  time.Since(start).Seconds(),
-				Findings: rep.Findings,
-			})
+			je := jsonExperiment{
+				ID:              rep.ID,
+				Title:           rep.Title,
+				Seconds:         m.seconds,
+				Findings:        rep.Findings,
+				Runs:            rep.Perf.Runs,
+				Steps:           rep.Perf.Steps,
+				EventsScheduled: rep.Perf.EventsScheduled,
+			}
+			if m.seconds > 0 {
+				je.EventsPerSec = float64(rep.Perf.Steps) / m.seconds
+			}
+			if rep.Perf.Runs > 0 {
+				je.AllocsPerRun = float64(m.mallocs) / float64(rep.Perf.Runs)
+			}
+			doc.Experiments = append(doc.Experiments, je)
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -176,16 +206,143 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "allforone experiment suite — %d trials per cell, seed base %d\n", *trials, *seed)
 	fmt.Fprintf(out, "reproducing: Raynal & Cao, ICDCS 2019 (see EXPERIMENTS.md)\n\n")
 	for _, id := range ids {
-		start := time.Now()
-		rep, err := harness.Run(id, opts)
+		rep, m, err := runInstrumented(id, opts)
 		if err != nil {
-			return fmt.Errorf("%s: %w", id, err)
+			return err
 		}
 		if err := rep.Table.Render(out); err != nil {
 			return err
 		}
-		fmt.Fprintf(out, "(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Fprintf(out, "(%s completed in %v", id, time.Duration(m.seconds*float64(time.Second)).Round(time.Millisecond))
+		if rep.Perf.Steps > 0 && m.seconds > 0 {
+			fmt.Fprintf(out, " — %.2gM events/sec over %d runs, %.0f allocs/run",
+				float64(rep.Perf.Steps)/m.seconds/1e6, rep.Perf.Runs,
+				float64(m.mallocs)/float64(max(rep.Perf.Runs, 1)))
+		}
+		fmt.Fprintf(out, ")\n\n")
 	}
+	return nil
+}
+
+// runMeasure captures one experiment's wall clock and heap-allocation count.
+type runMeasure struct {
+	seconds float64
+	mallocs uint64
+}
+
+// runInstrumented executes one experiment wrapped in wall-clock and
+// allocation measurement (process-wide malloc counts: run experiments
+// sequentially, as this CLI does, for meaningful allocs/run).
+func runInstrumented(id string, opts harness.Options) (*harness.Report, runMeasure, error) {
+	var m0, m1 runtime.MemStats
+	runtime.ReadMemStats(&m0)
+	start := time.Now()
+	rep, err := harness.Run(id, opts)
+	secs := time.Since(start).Seconds()
+	runtime.ReadMemStats(&m1)
+	if err != nil {
+		return nil, runMeasure{}, fmt.Errorf("%s: %w", id, err)
+	}
+	return rep, runMeasure{seconds: secs, mallocs: m1.Mallocs - m0.Mallocs}, nil
+}
+
+// maxRegression is the -bench-compare value gate: a comparable throughput
+// figure may not drop below 75% of the older snapshot's.
+const maxRegression = 0.75
+
+// loadSnapshot reads one BENCH_*.json document.
+func loadSnapshot(path string) (*jsonReport, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc jsonReport
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return &doc, nil
+}
+
+// runBenchCompare renders the trend between two committed BENCH_*.json
+// snapshots and fails on a >25% regression — the value gate on top of the
+// schema gate. Per experiment present in both files it compares
+// events/sec when both snapshots carry it (the engine-throughput axis) and
+// falls back to wall seconds otherwise (older snapshots predate the
+// events/sec field). Comparing committed snapshots — not a live run — keeps
+// the gate independent of the CI machine's speed.
+func runBenchCompare(oldPath, newPath string, out io.Writer) error {
+	oldDoc, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newDoc, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	oldExp := make(map[string]jsonExperiment, len(oldDoc.Experiments))
+	for _, e := range oldDoc.Experiments {
+		oldExp[e.ID] = e
+	}
+	fmt.Fprintf(out, "benchmark trend: %s → %s\n", oldPath, newPath)
+	if oldDoc.Trials != newDoc.Trials {
+		fmt.Fprintf(out, "caution: snapshots use different -trials (%d vs %d); throughput figures are machine- and workload-dependent — record successive snapshots on comparable hardware with identical trials\n",
+			oldDoc.Trials, newDoc.Trials)
+	}
+	fmt.Fprintf(out, "%-4s %14s %14s %8s  %s\n", "exp", "old", "new", "ratio", "axis")
+	var regressions []string
+	compared := 0
+	for _, ne := range newDoc.Experiments {
+		oe, ok := oldExp[ne.ID]
+		if !ok {
+			fmt.Fprintf(out, "%-4s %14s %14s %8s  new experiment\n", ne.ID, "—", "—", "—")
+			continue
+		}
+		var oldVal, newVal float64
+		var axis string
+		switch {
+		case oe.EventsPerSec > 0 && ne.EventsPerSec > 0:
+			oldVal, newVal, axis = oe.EventsPerSec, ne.EventsPerSec, "events/sec"
+		case oe.Seconds > 0 && ne.Seconds > 0:
+			// Invert so higher is better on both axes.
+			oldVal, newVal, axis = 1/oe.Seconds, 1/ne.Seconds, "runs/sec (1/seconds)"
+		default:
+			fmt.Fprintf(out, "%-4s %14s %14s %8s  no comparable axis\n", ne.ID, "—", "—", "—")
+			continue
+		}
+		ratio := newVal / oldVal
+		compared++
+		marker := ""
+		if ratio < maxRegression {
+			marker = "  ← REGRESSION"
+			regressions = append(regressions, ne.ID)
+		}
+		fmt.Fprintf(out, "%-4s %14.3g %14.3g %7.2fx  %s%s\n", ne.ID, oldVal, newVal, ratio, axis, marker)
+	}
+	// An experiment present in the old snapshot but absent from the new one
+	// must not silently escape the gate: a regressed experiment could hide
+	// by being dropped or renamed.
+	newIDs := make(map[string]bool, len(newDoc.Experiments))
+	for _, e := range newDoc.Experiments {
+		newIDs[e.ID] = true
+	}
+	var removed []string
+	for _, e := range oldDoc.Experiments {
+		if !newIDs[e.ID] {
+			fmt.Fprintf(out, "%-4s %14s %14s %8s  removed from new snapshot\n", e.ID, "—", "—", "—")
+			removed = append(removed, e.ID)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no comparable experiments between %s and %s", oldPath, newPath)
+	}
+	if len(removed) > 0 {
+		return fmt.Errorf("experiments present in %s are missing from %s: %s (retire them from both snapshots deliberately)",
+			oldPath, newPath, strings.Join(removed, ", "))
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("throughput regressed >%.0f%% in: %s", 100*(1-maxRegression), strings.Join(regressions, ", "))
+	}
+	fmt.Fprintf(out, "no regression beyond %.0f%% across %d comparable experiments\n", 100*(1-maxRegression), compared)
 	return nil
 }
 
@@ -206,8 +363,10 @@ type searchOptions struct {
 }
 
 // searchBase builds the base scenario the search perturbs: a Blocks
-// topology, alternating binary proposals, and a timed minority crash plan
-// for the jitter strategy to move around.
+// topology, alternating binary proposals (plus a concurrent writer/reader
+// script workload, consumed when the attacked protocol runs register
+// scripts — e.g. -search-protocol register -search-objective lin), and a
+// timed minority crash plan for the jitter strategy to move around.
 func searchBase(o searchOptions) (protocol.Scenario, error) {
 	var sc protocol.Scenario
 	part, err := model.Blocks(o.n, o.clusters)
@@ -217,6 +376,17 @@ func searchBase(o searchOptions) (protocol.Scenario, error) {
 	binary := make([]model.Value, o.n)
 	for i := range binary {
 		binary[i] = model.Value(int8(i % 2))
+	}
+	// Contended register scripts: every process writes its own value then
+	// reads twice, staggered so windows overlap across processes — the
+	// history shape linearizability counterexamples hide in.
+	scripts := make([][]protocol.RegisterOp, o.n)
+	for i := range scripts {
+		scripts[i] = []protocol.RegisterOp{
+			{Write: true, Val: fmt.Sprintf("v%d", i), After: time.Duration(i) * 10 * time.Microsecond},
+			protocol.ReadOp(),
+			{After: 30 * time.Microsecond},
+		}
 	}
 	if o.crashes < 0 || o.crashes >= o.n {
 		return sc, fmt.Errorf("search-crashes %d out of range [0,%d)", o.crashes, o.n)
@@ -236,7 +406,7 @@ func searchBase(o searchOptions) (protocol.Scenario, error) {
 	return protocol.Scenario{
 		Protocol: o.protocol,
 		Topology: protocol.Topology{Partition: part},
-		Workload: protocol.Workload{Binary: binary},
+		Workload: protocol.Workload{Binary: binary, Scripts: scripts},
 		Faults:   faults,
 		Seed:     1,
 		Bounds:   protocol.Bounds{MaxRounds: 100_000},

@@ -2,6 +2,8 @@ package main
 
 import (
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -147,5 +149,147 @@ func TestRunBadFlag(t *testing.T) {
 	var out strings.Builder
 	if err := run([]string{"-trials", "zebra"}, &out); err == nil {
 		t.Fatal("bad flag accepted")
+	}
+}
+
+// writeSnapshot drops a minimal BENCH_*.json document into dir.
+func writeSnapshot(t *testing.T, dir, name string, doc jsonReport) string {
+	t.Helper()
+	raw, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestBenchCompareTrend(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 2.0},                    // seconds-only: pre-events/sec snapshot
+		{ID: "E2", Seconds: 1.0, EventsPerSec: 1e6}, // both axes: events/sec wins
+		{ID: "E3", Seconds: 1.0, EventsPerSec: 5e5}, // will regress
+	}})
+
+	// Improvement + within-tolerance cases pass.
+	good := writeSnapshot(t, dir, "good.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0},                      // 2x faster on the seconds axis
+		{ID: "E2", Seconds: 5.0, EventsPerSec: 0.8e6}, // -20% events/sec: inside tolerance (seconds ignored)
+		{ID: "E3", Seconds: 1.0, EventsPerSec: 5e5},
+		{ID: "E4", Seconds: 1.0}, // new experiment: reported, not compared
+	}})
+	var out strings.Builder
+	if err := run([]string{"-bench-compare", oldPath, good}, &out); err != nil {
+		t.Fatalf("compare of improved snapshot failed: %v\n%s", err, out.String())
+	}
+	s := out.String()
+	for _, want := range []string{"E1", "events/sec", "new experiment", "no regression"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("trend output missing %q:\n%s", want, s)
+		}
+	}
+
+	// A >25% events/sec drop fails and names the experiment.
+	bad := writeSnapshot(t, dir, "bad.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0},
+		{ID: "E2", Seconds: 1.0, EventsPerSec: 1e6},
+		{ID: "E3", Seconds: 1.0, EventsPerSec: 3e5}, // 0.6x
+	}})
+	out.Reset()
+	err := run([]string{"-bench-compare", oldPath, bad}, &out)
+	if err == nil {
+		t.Fatalf("regressed snapshot accepted:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "E3") {
+		t.Errorf("regression error does not name E3: %v", err)
+	}
+	if !strings.Contains(out.String(), "REGRESSION") {
+		t.Errorf("trend output missing REGRESSION marker:\n%s", out.String())
+	}
+}
+
+func TestBenchCompareBadInputs(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-bench-compare", "one.json"}, &out); err == nil {
+		t.Error("single file accepted")
+	}
+	if err := run([]string{"-bench-compare", "nope.json", "nope2.json"}, &out); err == nil {
+		t.Error("missing files accepted")
+	}
+	dir := t.TempDir()
+	a := writeSnapshot(t, dir, "a.json", jsonReport{Experiments: []jsonExperiment{{ID: "E1"}}})
+	b := writeSnapshot(t, dir, "b.json", jsonReport{Experiments: []jsonExperiment{{ID: "E1"}}})
+	if err := run([]string{"-bench-compare", a, b}, &out); err == nil {
+		t.Error("snapshots with no comparable axis accepted")
+	}
+}
+
+// TestRunJSONCarriesPerf: the machine-readable record must carry the
+// engine-work rollup the value gate trends.
+func TestRunJSONCarriesPerf(t *testing.T) {
+	t.Parallel()
+	var out strings.Builder
+	if err := run([]string{"-exp", "E1", "-trials", "2", "-json"}, &out); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var doc jsonReport
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatalf("bad JSON: %v", err)
+	}
+	if len(doc.Experiments) != 1 {
+		t.Fatalf("experiments = %d, want 1", len(doc.Experiments))
+	}
+	e := doc.Experiments[0]
+	if e.Runs == 0 || e.Steps == 0 || e.EventsScheduled == 0 {
+		t.Fatalf("perf rollup empty: %+v", e)
+	}
+	if e.EventsPerSec <= 0 || e.AllocsPerRun <= 0 {
+		t.Fatalf("throughput figures missing: %+v", e)
+	}
+}
+
+// TestBenchCompareDetectsRemovedExperiment: an experiment dropped from the
+// newer snapshot must fail the gate, not silently vanish from it.
+func TestBenchCompareDetectsRemovedExperiment(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0},
+		{ID: "E2", Seconds: 1.0},
+	}})
+	newPath := writeSnapshot(t, dir, "new.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0},
+	}})
+	var out strings.Builder
+	err := run([]string{"-bench-compare", oldPath, newPath}, &out)
+	if err == nil {
+		t.Fatalf("snapshot with removed experiment accepted:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "E2") {
+		t.Errorf("error does not name the removed experiment: %v", err)
+	}
+	if !strings.Contains(out.String(), "removed from new snapshot") {
+		t.Errorf("trend output missing removal line:\n%s", out.String())
+	}
+}
+
+// TestBenchCompareWarnsOnTrialsMismatch: heterogeneous snapshots (different
+// -trials) get a caution line — the figures are workload-dependent.
+func TestBenchCompareWarnsOnTrialsMismatch(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	a := writeSnapshot(t, dir, "a.json", jsonReport{Trials: 100, Experiments: []jsonExperiment{{ID: "E1", Seconds: 1.0}}})
+	b := writeSnapshot(t, dir, "b.json", jsonReport{Trials: 5, Experiments: []jsonExperiment{{ID: "E1", Seconds: 1.0}}})
+	var out strings.Builder
+	if err := run([]string{"-bench-compare", a, b}, &out); err != nil {
+		t.Fatalf("compare failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "caution") {
+		t.Errorf("no trials-mismatch caution:\n%s", out.String())
 	}
 }

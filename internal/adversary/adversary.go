@@ -33,6 +33,7 @@ import (
 	"fmt"
 
 	"allforone/internal/protocol"
+	"allforone/internal/register"
 )
 
 // Verdict classifies one probe's outcome. Higher values are worse for the
@@ -135,8 +136,48 @@ func VirtualTime() Objective {
 	})
 }
 
+// ViolationChecker is an optional Objective capability: an objective that
+// can detect safety violations the generic agreement check cannot see
+// (e.g. a non-linearizable register history) implements it, and Search
+// upgrades any probe it flags to VerdictViolation. The returned error is
+// the violation's description, kept on the Finding.
+type ViolationChecker interface {
+	// CheckViolation inspects a probe's outcome; a non-nil error means the
+	// schedule drove the protocol into a safety violation.
+	CheckViolation(out *protocol.Outcome) error
+}
+
+// linearizabilityObjective scores schedules by event count (so the local
+// search still climbs schedule cost between findings) and flags runs whose
+// operation history no sequential register execution can explain.
+type linearizabilityObjective struct{}
+
+func (linearizabilityObjective) Name() string { return "linearizability" }
+
+func (linearizabilityObjective) Score(out *protocol.Outcome) float64 {
+	return float64(out.Steps)
+}
+
+// CheckViolation runs register.CheckLinearizable against the probe's
+// recorded history. Outcomes of non-register protocols carry no history
+// and pass vacuously.
+func (linearizabilityObjective) CheckViolation(out *protocol.Outcome) error {
+	res, ok := out.Raw.(*register.Result)
+	if !ok {
+		return nil
+	}
+	return res.CheckLinearizable()
+}
+
+// ObjectiveLinearizability wires register.CheckLinearizable into the
+// falsifier: every probe of a register scenario has its timestamped
+// operation history checked (memoized Wing&Gong), and a history with a
+// stale read, a new-old inversion, or a lost update surfaces as a
+// VerdictViolation finding — replayable bit-for-bit like any other.
+func ObjectiveLinearizability() Objective { return linearizabilityObjective{} }
+
 // ParseObjective resolves an objective name as accepted by the CLIs:
-// rounds, steps, or vtime.
+// rounds, steps, vtime, or lin.
 func ParseObjective(name string) (Objective, error) {
 	switch name {
 	case "rounds":
@@ -145,6 +186,8 @@ func ParseObjective(name string) (Objective, error) {
 		return Steps(), nil
 	case "vtime", "virtual-time":
 		return VirtualTime(), nil
+	case "lin", "linearizability":
+		return ObjectiveLinearizability(), nil
 	}
-	return nil, fmt.Errorf("adversary: unknown objective %q (want rounds, steps, or vtime)", name)
+	return nil, fmt.Errorf("adversary: unknown objective %q (want rounds, steps, vtime, or lin)", name)
 }

@@ -1,6 +1,7 @@
 package adversary_test
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"reflect"
@@ -12,6 +13,7 @@ import (
 	"allforone/internal/model"
 	"allforone/internal/protocol"
 	_ "allforone/internal/protocols"
+	"allforone/internal/register"
 	"allforone/internal/sim"
 	"allforone/internal/trace"
 )
@@ -138,7 +140,9 @@ func TestBoundedOutDistinctFromUndecided(t *testing.T) {
 
 	stepsOut := base
 	stepsOut.Trace = nil
-	stepsOut.Bounds.MaxSteps = 40
+	// Low enough to interrupt the run even under the batched fanout path,
+	// where one broadcast is a single scheduler event.
+	stepsOut.Bounds.MaxSteps = 5
 	out, err := protocol.Run(stepsOut)
 	if err != nil {
 		t.Fatal(err)
@@ -385,5 +389,129 @@ func TestParseHelpers(t *testing.T) {
 	}
 	if got := fmt.Sprint(adversary.VerdictBoundedOut, adversary.VerdictDecided, adversary.VerdictUndecided, adversary.VerdictViolation); got != "bounded-out decided undecided violation" {
 		t.Errorf("verdict names = %q", got)
+	}
+}
+
+// linRiggedName is a registry entry planted for the linearizability
+// falsifier test: its outcomes carry a register history that exhibits a
+// new-old inversion on a sparse set of seeds and is sequentially
+// explainable otherwise.
+const linRiggedName = "adv-lin-rigged"
+
+func init() {
+	protocol.MustRegister(protocol.New(protocol.Info{
+		Name:        linRiggedName,
+		Description: "test-only register protocol with seeded new-old inversions",
+		Proposals:   protocol.ProposalsScripts,
+	}, func(sc *protocol.Scenario) (*protocol.Outcome, error) {
+		us := func(k int) time.Duration { return time.Duration(k) * time.Microsecond }
+		res := &register.Result{Procs: make([]register.ProcResult, 3)}
+		res.Procs[0].Status = sim.StatusDecided
+		res.Procs[0].Ops = []register.OpResult{
+			{Kind: register.OpWrite, Val: "a", OK: true, Start: us(0), End: us(10)},
+			{Kind: register.OpWrite, Val: "b", OK: true, Start: us(20), End: us(30)},
+		}
+		firstRead, secondRead := "b", "b"
+		if sc.Seed%37 == 0 {
+			secondRead = "a" // new-old inversion: b read, then the older a
+		}
+		res.Procs[1].Status = sim.StatusDecided
+		res.Procs[1].Ops = []register.OpResult{
+			{Kind: register.OpRead, Val: firstRead, OK: true, Start: us(40), End: us(50)},
+		}
+		res.Procs[2].Status = sim.StatusDecided
+		res.Procs[2].Ops = []register.OpResult{
+			{Kind: register.OpRead, Val: secondRead, OK: true, Start: us(60), End: us(70)},
+		}
+		out := &protocol.Outcome{Protocol: linRiggedName, Procs: make([]protocol.ProcOutcome, 3), Raw: res}
+		for i := range out.Procs {
+			out.Procs[i] = protocol.ProcOutcome{Status: sim.StatusDecided}
+		}
+		return out, nil
+	}))
+}
+
+// TestSearchFindsPlantedLinearizabilityViolation: the linearizability
+// objective must upgrade probes whose register history is not sequentially
+// explainable to VerdictViolation, carry the checker's error on the
+// finding, and replay to the same broken history.
+func TestSearchFindsPlantedLinearizabilityViolation(t *testing.T) {
+	t.Parallel()
+	rep, err := adversary.Search(adversary.Config{
+		Base: protocol.Scenario{
+			Protocol: linRiggedName,
+			Topology: protocol.Topology{N: 3},
+			Seed:     1,
+		},
+		Objective: adversary.ObjectiveLinearizability(),
+		Strategy:  boundedSeeds{},
+		Budget:    300,
+		Seed:      11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Objective != "linearizability" {
+		t.Fatalf("objective = %q", rep.Objective)
+	}
+	if rep.Violations == 0 {
+		t.Fatalf("planted inversion not found in %d probes", rep.Probes)
+	}
+	w := rep.Worst
+	if w.Verdict != adversary.VerdictViolation {
+		t.Fatalf("worst verdict = %v, want violation", w.Verdict)
+	}
+	if w.Scenario.Seed%37 != 0 {
+		t.Fatalf("violation seed = %d, not divisible by 37", w.Scenario.Seed)
+	}
+	var lerr *register.ErrNotLinearizable
+	if !errors.As(w.Err, &lerr) {
+		t.Fatalf("finding error = %v, want ErrNotLinearizable", w.Err)
+	}
+	again, _, err := w.Replay()
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if err := adversary.ObjectiveLinearizability().(adversary.ViolationChecker).CheckViolation(again); err == nil {
+		t.Fatal("replayed counterexample no longer violates linearizability")
+	}
+}
+
+// TestLinearizabilityObjectiveCleanOnRealRegister: the ABD register is
+// linearizable by construction, so a search over real register scenarios
+// must classify every probe decided, never as a violation.
+func TestLinearizabilityObjectiveCleanOnRealRegister(t *testing.T) {
+	t.Parallel()
+	part, err := model.Blocks(4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	scripts := [][]protocol.RegisterOp{
+		{protocol.WriteOp("w0"), protocol.ReadOp()},
+		{{Write: true, Val: "w1", After: 5 * time.Microsecond}, protocol.ReadOp()},
+		{protocol.ReadOp(), protocol.ReadOp()},
+		{{Write: true, Val: "w3", After: 12 * time.Microsecond}},
+	}
+	rep, err := adversary.Search(adversary.Config{
+		Base: protocol.Scenario{
+			Protocol: "register",
+			Topology: protocol.Topology{Partition: part},
+			Workload: protocol.Workload{Scripts: scripts},
+			Seed:     1,
+		},
+		Objective: adversary.ObjectiveLinearizability(),
+		Strategy:  adversary.Combine(adversary.SeedHop(), adversary.SkewMutation(100*time.Microsecond, 0, 4)),
+		Budget:    60,
+		Seed:      9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Violations != 0 {
+		t.Fatalf("search claims %d linearizability violations in ABD: %+v", rep.Violations, rep.Findings)
+	}
+	if rep.Decided != rep.Probes {
+		t.Fatalf("decided %d of %d probes (undecided %d, bounded-out %d)",
+			rep.Decided, rep.Probes, rep.Undecided, rep.BoundedOut)
 	}
 }

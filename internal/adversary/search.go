@@ -185,6 +185,14 @@ func Search(cfg Config) (*Report, error) {
 			}
 			if outs[k] != nil {
 				f.Score = obj.Score(outs[k])
+				// Objective-specific safety oracles (e.g. linearizability)
+				// upgrade probes the generic classifier cannot condemn.
+				if chk, ok := obj.(ViolationChecker); ok && f.Verdict != VerdictViolation {
+					if verr := chk.CheckViolation(outs[k]); verr != nil {
+						f.Verdict = VerdictViolation
+						f.Err = verr
+					}
+				}
 			}
 			switch f.Verdict {
 			case VerdictDecided:

@@ -143,6 +143,10 @@ type Outcome struct {
 	// with it by callers classifying non-decision.
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work (events scheduled,
+	// timer-wheel cascades, deepest bucket); zero under the realtime engine.
+	// Deterministic: same Config, same counts.
+	Sched vclock.SchedulerStats
 }
 
 // BoundedOut reports whether the run was cut short by an artificial bound
@@ -157,6 +161,7 @@ func (o Outcome) Fill(res *sim.Result) {
 	res.Quiesced = o.Quiesced
 	res.DeadlineExceeded = o.DeadlineExceeded
 	res.StepsExceeded = o.StepsExceeded
+	res.Sched = o.Sched
 }
 
 // Handle is a process body's view of the engine driving it. Exactly one of
@@ -312,6 +317,7 @@ func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error
 		Quiesced:         out.Quiesced,
 		DeadlineExceeded: out.DeadlineExceeded,
 		StepsExceeded:    out.StepsExceeded,
+		Sched:            out.Stats,
 	}, nil
 }
 

@@ -74,6 +74,7 @@ func E1Fig1Decompositions(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.Perf.Merge(sum.perf)
 			decidedPct := 100 * float64(sum.decided) / float64(sum.trials)
 			tb.AddRowf(pc.name, algo.String(), decidedPct,
 				meanOr(sum.rounds, 0), p95Or(sum.rounds, 0),
@@ -119,6 +120,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Merge(sum.perf)
 		decidedPct := 100 * float64(sum.decided) / float64(sum.trials)
 		blockedPct := 100 * float64(sum.blocked) / float64(sum.trials)
 		tb.AddRowf("hybrid/"+algo.String(), decidedPct, meanOr(sum.rounds, 0), blockedPct)
@@ -150,6 +152,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(bres)
 		if _, _, ok := bres.Decided(); ok {
 			benorDecided++
 		}
@@ -161,6 +164,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(mres)
 		if _, _, ok := mres.Decided(); ok {
 			mpDecided++
 		}
@@ -203,6 +207,7 @@ func E3CommonCoinRounds(opts Options) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
+			rep.Perf.Merge(sum.perf)
 			if len(sum.rounds) == 0 {
 				return nil, ErrNoData
 			}
@@ -241,6 +246,7 @@ func E4RoundsVsClusters(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Merge(sum.perf)
 		decidedPct := 100 * float64(sum.decided) / float64(sum.trials)
 		tb.AddRowf(m, decidedPct, meanOr(sum.rounds, 0), p95Or(sum.rounds, 0),
 			meanOr(sum.msgs, 0), meanOr(sum.consInv, 0))
@@ -287,6 +293,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		res := out.Raw.(*sim.Result)
 		rounds := res.MaxDecisionRound()
 		phases := float64(2 * rounds)
@@ -331,6 +338,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		res := out.Raw.(*sim.Result)
 		rounds := res.MaxDecisionRound()
 		phases := float64(2 * rounds)
@@ -390,6 +398,7 @@ func E6MessageComplexity(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Merge(sum.perf)
 		rounds := meanOr(sum.rounds, 0)
 		msgs := meanOr(sum.msgs, 0)
 		// Each round is one broadcast per process (n² messages); deciding
@@ -423,6 +432,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep.Perf.Merge(sum.perf)
 	tb.AddRowf("hybrid m=1", 100*float64(sum.decided)/float64(sum.trials),
 		meanOr(sum.rounds, 0), meanOr(sum.msgs, 0), meanOr(sum.consInv, 0))
 	rep.Findings["hybrid-m1/rounds_mean"] = meanOr(sum.rounds, 0)
@@ -439,6 +449,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		if out.AllLiveDecided() {
 			shDecided++
 		}
@@ -453,6 +464,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
+	rep.Perf.Merge(sum.perf)
 	tb.AddRowf("hybrid m=n", 100*float64(sum.decided)/float64(sum.trials),
 		meanOr(sum.rounds, 0), meanOr(sum.msgs, 0), meanOr(sum.consInv, 0))
 	rep.Findings["hybrid-mn/rounds_mean"] = meanOr(sum.rounds, 0)
@@ -472,6 +484,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		if out.AllLiveDecided() {
 			bDecided++
 			bRounds = append(bRounds, float64(out.MaxDecisionRound()))
@@ -541,6 +554,7 @@ func E8Indulgence(opts Options) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
+				rep.Perf.Observe(out)
 				if _, _, ok := out.Decided(); ok {
 					decidedRuns++
 				}

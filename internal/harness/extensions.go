@@ -54,6 +54,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		if err := out.CheckAgreement(); err != nil {
 			return nil, err
 		}
@@ -104,6 +105,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		res := out.Raw.(*register.Result)
 		surv := res.Procs[survivor]
 		if surv.Status == sim.StatusDecided && len(surv.Ops) == 3 &&
@@ -140,6 +142,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
+		rep.Perf.Observe(out)
 		res := out.Raw.(*smr.Result)
 		if err := res.CheckLogValidity(cmds); err != nil {
 			return nil, err

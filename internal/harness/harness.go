@@ -81,6 +81,44 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
+// Perf aggregates the virtual engine's work across an experiment's trials —
+// the sweep-level rollup of protocol.Outcome.Sched that lets the CLI report
+// events/sec without parsing tables. Counts are sums over virtual-engine
+// runs (realtime runs contribute zero scheduler work).
+type Perf struct {
+	// Runs is the number of trial outcomes folded in.
+	Runs int
+	// Steps is the total number of discrete events processed.
+	Steps int64
+	// EventsScheduled / WheelCascades total the scheduler's bookkeeping.
+	EventsScheduled int64
+	WheelCascades   int64
+	// MaxBucketDepth is the deepest timer-wheel bucket any trial observed.
+	MaxBucketDepth int64
+}
+
+// Observe folds one run's engine work into the rollup.
+func (p *Perf) Observe(out *protocol.Outcome) {
+	p.Runs++
+	p.Steps += out.Steps
+	p.EventsScheduled += out.Sched.EventsScheduled
+	p.WheelCascades += out.Sched.WheelCascades
+	if out.Sched.MaxBucketDepth > p.MaxBucketDepth {
+		p.MaxBucketDepth = out.Sched.MaxBucketDepth
+	}
+}
+
+// Merge folds another rollup (e.g. one configuration's trial batch) in.
+func (p *Perf) Merge(q Perf) {
+	p.Runs += q.Runs
+	p.Steps += q.Steps
+	p.EventsScheduled += q.EventsScheduled
+	p.WheelCascades += q.WheelCascades
+	if q.MaxBucketDepth > p.MaxBucketDepth {
+		p.MaxBucketDepth = q.MaxBucketDepth
+	}
+}
+
 // Report is one experiment's outcome: a rendered table plus keyed scalar
 // findings that tests and benchmarks assert against without parsing text.
 type Report struct {
@@ -88,6 +126,10 @@ type Report struct {
 	Title    string
 	Table    *stats.Table
 	Findings map[string]float64
+	// Perf rolls up the virtual engine's work over the experiment's trials
+	// (events processed/scheduled, wheel cascades) — the numerator of the
+	// CLI's events/sec figure.
+	Perf Perf
 }
 
 // ErrNoData is returned when an experiment produced no usable trials.
@@ -103,6 +145,7 @@ type trialSummary struct {
 	decided   int // trials where every live process decided
 	blocked   int // trials with at least one blocked process
 	trials    int
+	perf      Perf // engine-work rollup across the trials
 }
 
 // proposalsFor draws a proposal vector: mode "unanimous1", "unanimous0",
@@ -188,6 +231,7 @@ func runHybridTrials(part *model.Partition, algo core.Algorithm, mode string, op
 
 // observe folds one run into the summary.
 func (s *trialSummary) observe(out *protocol.Outcome) {
+	s.perf.Observe(out)
 	if out.AllLiveDecided() {
 		s.decided++
 		s.rounds = append(s.rounds, float64(out.MaxDecisionRound()))

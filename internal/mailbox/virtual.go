@@ -9,13 +9,21 @@ import "allforone/internal/vclock"
 // for a message" consumes zero wall-clock time and the interleaving is
 // fully owned by the scheduler.
 //
+// The queue is a power-of-two ring buffer reused across park/wake cycles:
+// once the inbox has grown to the episode's high-water mark, draining and
+// refilling it allocates nothing — head and count chase each other around
+// the same backing array. Under the all-to-all exchange pattern each
+// process's inbox fills and drains Θ(n) messages every round; the ring
+// makes that steady state allocation-free (DESIGN.md §10).
+//
 // Virtual needs no lock: all accesses happen under the scheduler's single
 // execution token. The unboundedness requirement of Mailbox carries over —
 // producers never block, preserving the model's asynchronous reliable
 // channels.
 type Virtual[T any] struct {
-	queue  []T
-	head   int // consumed prefix of queue; compacted on Put/TryGet
+	buf    []T // ring storage; len(buf) is zero or a power of two
+	head   int // index of the oldest item
+	count  int // items queued
 	waiter *vclock.Proc
 	closed bool
 }
@@ -34,12 +42,28 @@ func (v *Virtual[T]) Put(item T) bool {
 	if v.closed {
 		return false
 	}
-	v.compact()
-	v.queue = append(v.queue, item)
+	if v.count == len(v.buf) {
+		v.grow()
+	}
+	v.buf[(v.head+v.count)&(len(v.buf)-1)] = item
+	v.count++
 	if v.waiter != nil {
 		v.waiter.Wake()
 	}
 	return true
+}
+
+// grow doubles the ring, unwrapping the queued items to the front.
+func (v *Virtual[T]) grow() {
+	size := len(v.buf) * 2
+	if size == 0 {
+		size = 8
+	}
+	next := make([]T, size)
+	n := copy(next, v.buf[v.head:])
+	copy(next[n:], v.buf[:v.count-n])
+	v.buf = next
+	v.head = 0
 }
 
 // Get removes and returns the oldest item, parking the bound coroutine
@@ -67,31 +91,18 @@ func (v *Virtual[T]) Get() (T, bool) {
 // TryGet removes and returns the oldest item without parking.
 func (v *Virtual[T]) TryGet() (T, bool) {
 	var zero T
-	if v.head >= len(v.queue) {
+	if v.count == 0 {
 		return zero, false
 	}
-	item := v.queue[v.head]
-	v.queue[v.head] = zero
-	v.head++
-	if v.head == len(v.queue) {
-		v.queue = v.queue[:0]
-		v.head = 0
-	}
+	item := v.buf[v.head]
+	v.buf[v.head] = zero
+	v.head = (v.head + 1) & (len(v.buf) - 1)
+	v.count--
 	return item, true
 }
 
-// compact reclaims the consumed prefix when it dominates the backing array.
-func (v *Virtual[T]) compact() {
-	if v.head > 32 && v.head*2 >= len(v.queue) {
-		n := copy(v.queue, v.queue[v.head:])
-		clear(v.queue[n:])
-		v.queue = v.queue[:n]
-		v.head = 0
-	}
-}
-
 // Len returns the number of queued items.
-func (v *Virtual[T]) Len() int { return len(v.queue) - v.head }
+func (v *Virtual[T]) Len() int { return v.count }
 
 // Close closes the inbox: future Puts are dropped, Gets drain the remaining
 // items then report false. The consumer is woken so it can observe the

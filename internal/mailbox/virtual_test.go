@@ -68,6 +68,49 @@ func TestVirtualQuiescentGetFails(t *testing.T) {
 	}
 }
 
+// The ring buffer is reused across fill/drain episodes: once warmed to an
+// episode's high-water mark, steady-state Put/TryGet cycles — including
+// wrap-around — allocate nothing.
+func TestVirtualRingReuse(t *testing.T) {
+	box := NewVirtual[int]()
+	// Warm the ring to capacity ≥ 8 and misalign head so the ring wraps.
+	for i := 0; i < 5; i++ {
+		box.Put(i)
+	}
+	for i := 0; i < 3; i++ {
+		box.TryGet()
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 8; i++ {
+			box.Put(i)
+		}
+		for i := 0; i < 8; i++ {
+			if _, ok := box.TryGet(); !ok {
+				t.Fatal("ring lost an item")
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state fill/drain allocates %.1f per episode, want 0", allocs)
+	}
+	// FIFO order must survive arbitrary wrap points.
+	box2 := NewVirtual[int]()
+	next := 0
+	for put := 0; put < 1000; {
+		for k := 0; k < 3 && put < 1000; k++ {
+			box2.Put(put)
+			put++
+		}
+		for box2.Len() > 1 {
+			v, _ := box2.TryGet()
+			if v != next {
+				t.Fatalf("out of order: got %d, want %d", v, next)
+			}
+			next++
+		}
+	}
+}
+
 // Len tracks the queued backlog through interleaved puts and gets,
 // including across the ring-compaction path.
 func TestVirtualLenAndCompaction(t *testing.T) {

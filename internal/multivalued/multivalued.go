@@ -40,6 +40,7 @@ import (
 	"allforone/internal/netsim"
 	"allforone/internal/shmem"
 	"allforone/internal/sim"
+	"allforone/internal/vclock"
 )
 
 // Config describes one multivalued consensus execution.
@@ -114,6 +115,10 @@ type Result struct {
 	// (see sim.Result).
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work (events
+	// scheduled, timer-wheel cascades, deepest bucket); zero under the
+	// realtime engine (see sim.Result).
+	Sched vclock.SchedulerStats
 }
 
 // Decided returns the decided value and how many processes decided it.
@@ -504,6 +509,7 @@ func Run(cfg Config) (*Result, error) {
 		Quiesced:         out.Quiesced,
 		DeadlineExceeded: out.DeadlineExceeded,
 		StepsExceeded:    out.StepsExceeded,
+		Sched:            out.Sched,
 	}
 	for i, o := range outcomes {
 		res.Procs[i] = ProcResult{Status: o.status, Decision: o.val, Rounds: o.rounds}

@@ -1,10 +1,16 @@
 package netsim
 
 import (
+	"errors"
 	"fmt"
 	"math/rand/v2"
 	"time"
 )
+
+// ErrBadMatrix reports a structurally invalid delay matrix (non-square or
+// carrying negative entries) — the sentinel surfaced when a matrix is
+// rejected at Scenario build time, before any message uses it.
+var ErrBadMatrix = errors.New("netsim: invalid delay matrix")
 
 // DelayMatrix is an explicit n×n per-link delay table: m[i][j] is the
 // transit time of messages from process i to process j (possibly
@@ -81,22 +87,37 @@ func (m DelayMatrix) MutateEntries(rng *rand.Rand, k int, max time.Duration) Del
 }
 
 // Validate checks the matrix is square with the given side and free of
-// negative entries — the same laws the skew-matrix network profile
-// enforces at compile time, exposed so mutation pipelines can check their
-// own output.
+// negative entries — the laws the skew-matrix network profile enforces at
+// Scenario build time, exposed so mutation pipelines can check their own
+// output. Violations wrap ErrBadMatrix.
 func (m DelayMatrix) Validate(n int) error {
 	if len(m) != n {
-		return fmt.Errorf("netsim: matrix is %dx?, want %dx%d", len(m), n, n)
+		return fmt.Errorf("%w: matrix is %dx?, want %dx%d", ErrBadMatrix, len(m), n, n)
 	}
 	for i, row := range m {
 		if len(row) != n {
-			return fmt.Errorf("netsim: matrix row %d has %d entries, want %d", i, len(row), n)
+			return fmt.Errorf("%w: matrix row %d has %d entries, want %d", ErrBadMatrix, i, len(row), n)
 		}
 		for j, d := range row {
 			if d < 0 {
-				return fmt.Errorf("netsim: negative delay at [%d][%d]", i, j)
+				return fmt.Errorf("%w: negative delay at [%d][%d]", ErrBadMatrix, i, j)
 			}
 		}
 	}
 	return nil
+}
+
+// Flatten validates the matrix against side n and returns it as one flat
+// slice indexed src*n+dst — the lookup layout of the compiled skew-matrix
+// profile (a single bounds-checked load on the per-message hot path
+// instead of a double indirection).
+func (m DelayMatrix) Flatten(n int) ([]time.Duration, error) {
+	if err := m.Validate(n); err != nil {
+		return nil, err
+	}
+	flat := make([]time.Duration, 0, n*n)
+	for _, row := range m {
+		flat = append(flat, row...)
+	}
+	return flat, nil
 }

@@ -1,6 +1,7 @@
 package netsim
 
 import (
+	"errors"
 	"math/rand/v2"
 	"testing"
 	"time"
@@ -80,6 +81,44 @@ func TestDelayMatrixDegenerate(t *testing.T) {
 		for j := range zero[i] {
 			if zero[i][j] != 0 {
 				t.Errorf("zero-max matrix has entry [%d][%d] = %v", i, j, zero[i][j])
+			}
+		}
+	}
+}
+
+// Validate failures carry the ErrBadMatrix sentinel, and Flatten lays a
+// valid matrix out as one src*n+dst slice.
+func TestDelayMatrixSentinelAndFlatten(t *testing.T) {
+	bad := DelayMatrix{{0, time.Millisecond}, {0}} // ragged
+	if err := bad.Validate(2); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("ragged matrix error = %v, want ErrBadMatrix", err)
+	}
+	if err := NewDelayMatrix(3).Validate(2); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("wrong-side matrix error = %v, want ErrBadMatrix", err)
+	}
+	neg := NewDelayMatrix(2)
+	neg[1][0] = -time.Microsecond
+	if err := neg.Validate(2); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("negative matrix error = %v, want ErrBadMatrix", err)
+	}
+	if _, err := bad.Flatten(2); !errors.Is(err, ErrBadMatrix) {
+		t.Fatalf("Flatten on ragged matrix = %v, want ErrBadMatrix", err)
+	}
+
+	m := NewDelayMatrix(3)
+	for i := range m {
+		for j := range m[i] {
+			m[i][j] = time.Duration(10*i+j) * time.Microsecond
+		}
+	}
+	flat, err := m.Flatten(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			if flat[i*3+j] != m[i][j] {
+				t.Fatalf("flat[%d*3+%d] = %v, want %v", i, j, flat[i*3+j], m[i][j])
 			}
 		}
 	}

@@ -20,8 +20,10 @@
 package netsim
 
 import (
+	"cmp"
 	"fmt"
 	"math/rand/v2"
+	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -131,6 +133,89 @@ type Network struct {
 	rngMu  sync.Mutex
 	rng    *rand.Rand
 	closed atomic.Bool
+
+	// Virtual-mode event pools (guarded by the scheduler's execution token,
+	// like everything else on the virtual path). Delivery and fanout events
+	// cycle through these freelists instead of allocating one closure plus
+	// one heap box per message — the zero-alloc delivery path.
+	freeDeliveries []*delivery
+	freeFanouts    []*fanout
+	everyone       []model.ProcID // the 0 … n-1 recipient list (SendAll); built once in New
+}
+
+// delivery is a pooled single-message delivery event (virtual mode): the
+// scheduled form of one point-to-point Send.
+type delivery struct {
+	nw  *Network
+	box *mailbox.Virtual[Message]
+	msg Message
+}
+
+// Fire delivers the message and returns the envelope to the pool.
+func (d *delivery) Fire() {
+	box, msg := d.box, d.msg
+	d.box, d.msg = nil, Message{}
+	d.nw.freeDeliveries = append(d.nw.freeDeliveries, d)
+	box.Put(msg)
+}
+
+// arrival is one recipient of a fanout, tagged with its delivery instant.
+type arrival struct {
+	at vclock.Time
+	to model.ProcID
+}
+
+// fanout is a pooled batched-broadcast event (virtual mode): one broadcast
+// schedules a single event that materializes its deliveries lazily —
+// arrivals are sorted by instant, each firing delivers the cohort due now
+// and reschedules the event at the next distinct instant. A broadcast with
+// g distinct arrival instants costs g scheduler events instead of n, and
+// zero allocations once the pool is warm.
+type fanout struct {
+	nw      *Network
+	from    model.ProcID
+	payload any
+	arr     []arrival
+	next    int
+}
+
+// Fire delivers every arrival due at the current instant, then either
+// reschedules for the next instant or returns to the pool.
+func (f *fanout) Fire() {
+	now := f.arr[f.next].at
+	for f.next < len(f.arr) && f.arr[f.next].at == now {
+		to := f.arr[f.next].to
+		f.nw.vboxes[to].Put(Message{From: f.from, To: to, Payload: f.payload})
+		f.next++
+	}
+	if f.next < len(f.arr) {
+		f.nw.opts.sched.AtEvent(f.arr[f.next].at, f)
+		return
+	}
+	f.payload = nil
+	f.arr = f.arr[:0]
+	f.next = 0
+	f.nw.freeFanouts = append(f.nw.freeFanouts, f)
+}
+
+// getDelivery pops a pooled delivery event or makes one.
+func (nw *Network) getDelivery() *delivery {
+	if k := len(nw.freeDeliveries); k > 0 {
+		d := nw.freeDeliveries[k-1]
+		nw.freeDeliveries = nw.freeDeliveries[:k-1]
+		return d
+	}
+	return &delivery{nw: nw}
+}
+
+// getFanout pops a pooled fanout event or makes one.
+func (nw *Network) getFanout() *fanout {
+	if k := len(nw.freeFanouts); k > 0 {
+		f := nw.freeFanouts[k-1]
+		nw.freeFanouts = nw.freeFanouts[:k-1]
+		return f
+	}
+	return &fanout{nw: nw}
 }
 
 // New returns a network connecting processes 0 … n-1.
@@ -143,10 +228,14 @@ func New(n int, opts ...Option) (*Network, error) {
 		opt(&o)
 	}
 	nw := &Network{
-		n:     n,
-		opts:  o,
-		start: time.Now(),
-		rng:   rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
+		n:        n,
+		opts:     o,
+		start:    time.Now(),
+		rng:      rand.New(rand.NewPCG(o.seed, o.seed^0xda3e39cb94b95bdb)),
+		everyone: make([]model.ProcID, n),
+	}
+	for i := range nw.everyone {
+		nw.everyone[i] = model.ProcID(i)
 	}
 	if o.sched != nil {
 		nw.vboxes = make([]*mailbox.Virtual[Message], n)
@@ -183,18 +272,8 @@ func (nw *Network) Bind(p model.ProcID, proc *vclock.Proc) {
 // N returns the number of connected processes.
 func (nw *Network) N() int { return nw.n }
 
-// Send transmits payload from one process to another. The send is an atomic
-// step for the sender: it never blocks and the message is guaranteed to be
-// delivered (unless the receiver has terminated, in which case it would
-// never have been consumed anyway).
-func (nw *Network) Send(from, to model.ProcID, payload any) {
-	if int(to) < 0 || int(to) >= nw.n {
-		return
-	}
-	if nw.opts.counters != nil {
-		nw.opts.counters.AddMsgsSent(1)
-	}
-	m := Message{From: from, To: to, Payload: payload}
+// delayFor draws the transit delay of m under the configured policy.
+func (nw *Network) delayFor(m Message) time.Duration {
 	var d time.Duration
 	if !nw.closed.Load() {
 		switch {
@@ -211,36 +290,109 @@ func (nw *Network) Send(from, to model.ProcID, payload any) {
 	if d < 0 {
 		d = 0
 	}
+	return d
+}
+
+// deliver transports one message (already counted) with transit delay d.
+func (nw *Network) deliver(m Message, d time.Duration) {
 	if nw.vboxes != nil {
-		// Virtual mode: transit is a delivery event d nanoseconds of virtual
-		// time from now. Zero-delay messages still travel through the event
-		// queue, so delivery order is the deterministic (time, seq) order and
-		// every receive is a scheduling point.
-		box := nw.vboxes[to]
-		nw.opts.sched.After(vclock.Time(d), func() { box.Put(m) })
+		// Virtual mode: transit is a pooled delivery event d nanoseconds of
+		// virtual time from now. Zero-delay messages still travel through
+		// the event queue, so delivery order is the deterministic
+		// (time, seq) order and every receive is a scheduling point.
+		ev := nw.getDelivery()
+		ev.box = nw.vboxes[m.To]
+		ev.msg = m
+		nw.opts.sched.AfterEvent(vclock.Time(d), ev)
 		return
 	}
 	if d <= 0 {
-		nw.boxes[to].Put(m)
+		nw.boxes[m.To].Put(m)
 		return
 	}
 	nw.wg.Add(1)
 	go func() {
 		defer nw.wg.Done()
 		time.Sleep(d)
-		nw.boxes[to].Put(m)
+		nw.boxes[m.To].Put(m)
 	}()
 }
 
+// Send transmits payload from one process to another. The send is an atomic
+// step for the sender: it never blocks and the message is guaranteed to be
+// delivered (unless the receiver has terminated, in which case it would
+// never have been consumed anyway).
+func (nw *Network) Send(from, to model.ProcID, payload any) {
+	if int(to) < 0 || int(to) >= nw.n {
+		return
+	}
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsSent(1)
+	}
+	m := Message{From: from, To: to, Payload: payload}
+	nw.deliver(m, nw.delayFor(m))
+}
+
+// sendFan transmits payload to recipients (all already counted; those out
+// of range are skipped) as one batched fanout. In virtual mode the whole
+// fanout is a single pooled scheduler event per distinct arrival instant;
+// delay draws happen in recipient order, so the RNG stream matches the
+// equivalent Send sequence.
+func (nw *Network) sendFan(from model.ProcID, payload any, recipients []model.ProcID) {
+	if nw.vboxes == nil {
+		for _, to := range recipients {
+			if int(to) < 0 || int(to) >= nw.n {
+				continue
+			}
+			m := Message{From: from, To: to, Payload: payload}
+			nw.deliver(m, nw.delayFor(m))
+		}
+		return
+	}
+	f := nw.getFanout()
+	f.from = from
+	f.payload = payload
+	now := vclock.Time(nw.opts.sched.Now())
+	for _, to := range recipients {
+		if int(to) < 0 || int(to) >= nw.n {
+			continue
+		}
+		d := nw.delayFor(Message{From: from, To: to, Payload: payload})
+		f.arr = append(f.arr, arrival{at: now + vclock.Time(d), to: to})
+	}
+	if len(f.arr) == 0 {
+		f.payload = nil
+		nw.freeFanouts = append(nw.freeFanouts, f)
+		return
+	}
+	// Stable: recipients sharing an arrival instant deliver in recipient
+	// order, the same deterministic tie-break the per-message path had.
+	slices.SortStableFunc(f.arr, func(a, b arrival) int { return cmp.Compare(a.at, b.at) })
+	nw.opts.sched.AtEvent(f.arr[0].at, f)
+}
+
+// SendAll transmits payload from one process to every process (including
+// the sender) — the batched all-to-all delivery path. It is semantically a
+// Send per destination, but in virtual mode it schedules one fanout event
+// per distinct arrival instant instead of one event per message, and
+// reuses pooled envelopes: the Θ(n²) exchange pattern stops costing Θ(n²)
+// scheduler allocations (DESIGN.md §10). Unlike Broadcast it does not
+// count a broadcast macro-operation.
+func (nw *Network) SendAll(from model.ProcID, payload any) {
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsSent(int64(nw.n))
+	}
+	nw.sendFan(from, payload, nw.everyone)
+}
+
 // Broadcast implements the paper's broadcast(msg) macro-operation: a
-// shortcut for sending msg to every process, including the sender.
+// shortcut for sending msg to every process, including the sender. It
+// rides the batched SendAll path.
 func (nw *Network) Broadcast(from model.ProcID, payload any) {
 	if nw.opts.counters != nil {
 		nw.opts.counters.AddBroadcast()
 	}
-	for to := 0; to < nw.n; to++ {
-		nw.Send(from, model.ProcID(to), payload)
-	}
+	nw.SendAll(from, payload)
 }
 
 // BroadcastSubset delivers payload only to the given recipients — the
@@ -249,10 +401,15 @@ func (nw *Network) Broadcast(from model.ProcID, payload any) {
 func (nw *Network) BroadcastSubset(from model.ProcID, payload any, recipients []model.ProcID) {
 	if nw.opts.counters != nil {
 		nw.opts.counters.AddBroadcast()
+		sent := int64(0)
+		for _, to := range recipients {
+			if int(to) >= 0 && int(to) < nw.n {
+				sent++
+			}
+		}
+		nw.opts.counters.AddMsgsSent(sent)
 	}
-	for _, to := range recipients {
-		nw.Send(from, to, payload)
-	}
+	nw.sendFan(from, payload, recipients)
 }
 
 // Receive blocks until a message for process p arrives, p's inbox closes,

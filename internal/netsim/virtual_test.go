@@ -2,9 +2,12 @@ package netsim
 
 import (
 	"math/rand/v2"
+	"runtime"
 	"testing"
 	"time"
 
+	"allforone/internal/metrics"
+	"allforone/internal/model"
 	"allforone/internal/vclock"
 )
 
@@ -110,5 +113,170 @@ func TestVirtualCloseInbox(t *testing.T) {
 	}
 	if nw.Pending(1) != 0 {
 		t.Fatalf("Pending = %d, want 0", nw.Pending(1))
+	}
+}
+
+// SendAll batches one broadcast into a single fanout: all recipients with
+// equal delay receive at one instant, in recipient order, from one
+// scheduler event; recipients with distinct delays receive at their own
+// virtual instants. The pooled path must survive many rounds without
+// corrupting payload routing.
+func TestVirtualSendAllBatchedFanout(t *testing.T) {
+	const n = 8
+	s := vclock.New()
+	// Per-link deterministic skew: delay(from,to) = to µs, so every
+	// recipient has a distinct arrival instant except p0 (immediate).
+	nw, err := New(n, WithScheduler(s), WithTimedDelayFn(
+		func(_ time.Duration, _ *rand.Rand, m Message) time.Duration {
+			return time.Duration(m.To) * time.Microsecond
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	type rcv struct {
+		payload int
+		at      vclock.Time
+	}
+	got := make([][]rcv, n)
+	for p := 0; p < n; p++ {
+		p := p
+		proc := s.Spawn("consumer", func() {
+			for {
+				m, ok := nw.Receive(model.ProcID(p), nil)
+				if !ok {
+					return
+				}
+				got[p] = append(got[p], rcv{payload: m.Payload.(int), at: s.Now()})
+			}
+		})
+		nw.Bind(model.ProcID(p), proc)
+	}
+	const rounds = 5
+	s.Spawn("sender", func() {
+		for r := 0; r < rounds; r++ {
+			nw.SendAll(0, r)
+		}
+	})
+	s.At(vclock.Time(time.Millisecond), func() {
+		for p := 0; p < n; p++ {
+			nw.CloseInbox(model.ProcID(p))
+		}
+	})
+	if out := s.Run(); out.Quiesced || out.DeadlineExceeded || out.StepsExceeded {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	for p := 0; p < n; p++ {
+		if len(got[p]) != rounds {
+			t.Fatalf("p%d received %d messages, want %d", p, len(got[p]), rounds)
+		}
+		for r, m := range got[p] {
+			if m.payload != r {
+				t.Fatalf("p%d round %d: payload %d (pool corruption?)", p, r, m.payload)
+			}
+			if want := vclock.Time(time.Duration(p) * time.Microsecond); m.at != want {
+				t.Fatalf("p%d round %d delivered at %v, want %v", p, r, m.at, want)
+			}
+		}
+	}
+}
+
+// The warmed-up batched delivery path is allocation-free per broadcast:
+// fanout envelopes and arrival slices cycle through the network pool and
+// inbox rings are reused, so steady-state rounds cost zero allocations in
+// netsim (scheduler bucket growth amortizes to zero as well).
+func TestVirtualSendAllSteadyStateAllocs(t *testing.T) {
+	const n = 16
+	s := vclock.New()
+	nw, err := New(n, WithScheduler(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	for p := 1; p < n; p++ {
+		p := p
+		proc := s.Spawn("consumer", func() {
+			for {
+				if _, ok := nw.Receive(model.ProcID(p), nil); !ok {
+					return
+				}
+				delivered++
+			}
+		})
+		nw.Bind(model.ProcID(p), proc)
+	}
+	const rounds = 400
+	payload := "round" // one shared payload: the path itself must not box
+	var allocs uint64
+	sender := s.Spawn("sender", func() {
+		// Each round broadcasts and then consumes the loopback delivery, so
+		// the fanout envelope has fired — and returned to the pool — before
+		// the next broadcast. 20 warm-up rounds size the pools and rings.
+		round := func() {
+			nw.SendAll(0, payload)
+			if _, ok := nw.Receive(0, nil); !ok {
+				t.Error("sender lost its loopback message")
+			}
+		}
+		for r := 0; r < 20; r++ {
+			round()
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for r := 0; r < rounds; r++ {
+			round()
+		}
+		runtime.ReadMemStats(&m1)
+		allocs = m1.Mallocs - m0.Mallocs
+		for p := 0; p < n; p++ {
+			nw.CloseInbox(model.ProcID(p))
+		}
+	})
+	nw.Bind(0, sender)
+	if out := s.Run(); out.Quiesced {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	if want := (rounds + 20) * (n - 1); delivered != want {
+		t.Fatalf("consumers saw %d deliveries, want %d", delivered, want)
+	}
+	if perRound := float64(allocs) / rounds; perRound > 1 {
+		t.Fatalf("steady-state SendAll allocates %.2f times per round, want ≤ 1", perRound)
+	}
+}
+
+// A mid-broadcast crash subset still delivers to exactly the listed
+// recipients under the batched path, and out-of-range recipients are
+// skipped (and not counted).
+func TestVirtualBroadcastSubsetBatched(t *testing.T) {
+	s := vclock.New()
+	var ctr metrics.Counters
+	nw, err := New(4, WithScheduler(s), WithCounters(&ctr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotTo := map[model.ProcID]bool{}
+	for p := 0; p < 4; p++ {
+		p := p
+		proc := s.Spawn("consumer", func() {
+			m, ok := nw.Receive(model.ProcID(p), nil)
+			if ok {
+				gotTo[m.To] = true
+			}
+		})
+		nw.Bind(model.ProcID(p), proc)
+	}
+	s.Spawn("sender", func() {
+		nw.BroadcastSubset(0, "crash-cut", []model.ProcID{1, 3, 99, -1})
+	})
+	out := s.Run()
+	if !out.Quiesced {
+		// p0 and p2 never receive: the run must end by quiescence.
+		t.Fatalf("outcome = %+v, want quiesced", out)
+	}
+	if !gotTo[1] || !gotTo[3] || gotTo[0] || gotTo[2] {
+		t.Fatalf("delivered set = %v, want exactly {1, 3}", gotTo)
+	}
+	snap := ctr.Read()
+	if snap.MsgsSent != 2 {
+		t.Fatalf("MsgsSent = %d, want 2 (out-of-range recipients uncounted)", snap.MsgsSent)
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"allforone/internal/metrics"
 	"allforone/internal/sim"
+	"allforone/internal/vclock"
 )
 
 // ProcOutcome is one process's view of a scenario run, in a vocabulary
@@ -45,6 +46,12 @@ type Outcome struct {
 	// exhaustion for a liveness counterexample.
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work (events scheduled,
+	// timer-wheel cascades, deepest bucket) — the per-run observability
+	// feed of the harness's events/sec aggregation. Zero under the
+	// realtime engine; deterministic (replays bit-for-bit) under the
+	// virtual one.
+	Sched vclock.SchedulerStats
 	// Raw is the protocol's native result value.
 	Raw any
 }
@@ -67,6 +74,7 @@ func BinaryOutcome(name string, res *sim.Result) *Outcome {
 		Quiesced:         res.Quiesced,
 		DeadlineExceeded: res.DeadlineExceeded,
 		StepsExceeded:    res.StepsExceeded,
+		Sched:            res.Sched,
 		Raw:              res,
 	}
 	for i, pr := range res.Procs {

@@ -91,22 +91,16 @@ func (s *skewMatrixProfile) ProfileName() string {
 }
 
 func (s *skewMatrixProfile) Compile(n int, part *model.Partition) (netsim.TimedDelayFn, error) {
-	if len(s.delay) != n {
-		return nil, fmt.Errorf("matrix is %dx?, topology has %d processes", len(s.delay), n)
+	// Structural validation is netsim.DelayMatrix's: a bad matrix is
+	// rejected here — Scenario build time — wrapping netsim.ErrBadMatrix,
+	// never at first message use. The compiled form is a flat slice
+	// indexed src*n+dst: one load per lookup on the delivery hot path.
+	flat, err := netsim.DelayMatrix(s.delay).Flatten(n)
+	if err != nil {
+		return nil, err
 	}
-	for i, row := range s.delay {
-		if len(row) != n {
-			return nil, fmt.Errorf("row %d has %d entries, want %d", i, len(row), n)
-		}
-		for j, d := range row {
-			if d < 0 {
-				return nil, fmt.Errorf("negative delay at [%d][%d]", i, j)
-			}
-		}
-	}
-	delay := s.delay
 	return func(_ time.Duration, _ *rand.Rand, m netsim.Message) time.Duration {
-		return delay[m.From][m.To]
+		return flat[int(m.From)*n+int(m.To)]
 	}, nil
 }
 

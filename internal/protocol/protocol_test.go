@@ -5,6 +5,7 @@ package protocol_test
 // registry and profile tests below.
 
 import (
+	"errors"
 	"strings"
 	"testing"
 	"time"
@@ -159,6 +160,80 @@ func TestParseProfile(t *testing.T) {
 	for _, bad := range []string{"warp:1ms", "uniform:1ms", "uniform:x:y", "skew:1ms:2ms:3ms"} {
 		if _, err := protocol.ParseProfile(bad); err == nil {
 			t.Errorf("ParseProfile(%q) accepted", bad)
+		}
+	}
+}
+
+// TestBadMatrixRejectedAtBuildTime: a structurally invalid skew matrix is
+// rejected when the Scenario compiles — before any process spawns or any
+// message consults the table — and the error carries BOTH sentinels:
+// ErrBadScenario (the layer) and netsim.ErrBadMatrix (the cause), in the
+// driver.ErrBadCrashes style.
+func TestBadMatrixRejectedAtBuildTime(t *testing.T) {
+	t.Parallel()
+	part := model.Fig1Left()
+	binary := make([]model.Value, part.N())
+	cases := []struct {
+		name   string
+		matrix [][]time.Duration
+	}{
+		{"wrong side", make([][]time.Duration, 3)},
+		{"ragged rows", func() [][]time.Duration {
+			m := netsim.NewDelayMatrix(part.N())
+			m[2] = m[2][:3]
+			return m
+		}()},
+		{"negative entry", func() [][]time.Duration {
+			m := netsim.NewDelayMatrix(part.N())
+			m[1][4] = -time.Microsecond
+			return m
+		}()},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			out, err := protocol.Run(protocol.Scenario{
+				Protocol: "hybrid",
+				Topology: protocol.Topology{Partition: part},
+				Workload: protocol.Workload{Binary: binary},
+				Profile:  protocol.SkewMatrix(tc.matrix),
+				Seed:     1,
+			})
+			if err == nil {
+				t.Fatalf("bad matrix accepted: %+v", out)
+			}
+			if !errors.Is(err, protocol.ErrBadScenario) {
+				t.Errorf("error lacks ErrBadScenario: %v", err)
+			}
+			if !errors.Is(err, netsim.ErrBadMatrix) {
+				t.Errorf("error lacks netsim.ErrBadMatrix: %v", err)
+			}
+		})
+	}
+}
+
+// TestSkewMatrixFlatLookup: the compiled skew profile must read the same
+// asymmetric per-link delays as the source table (flat src*n+dst layout).
+func TestSkewMatrixFlatLookup(t *testing.T) {
+	t.Parallel()
+	const n = 5
+	m := netsim.NewDelayMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			m[i][j] = time.Duration(100*i+j) * time.Microsecond
+		}
+	}
+	fn, err := protocol.SkewMatrix(m).Compile(n, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			got := fn(0, nil, netsim.Message{From: model.ProcID(i), To: model.ProcID(j)})
+			if got != m[i][j] {
+				t.Fatalf("delay(%d→%d) = %v, want %v", i, j, got, m[i][j])
+			}
 		}
 	}
 }

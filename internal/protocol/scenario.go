@@ -192,7 +192,10 @@ func (sc *Scenario) NetOptions(n int, part *model.Partition) ([]netsim.Option, e
 	}
 	fn, err := sc.Profile.Compile(n, part)
 	if err != nil {
-		return nil, fmt.Errorf("%w: profile %q: %v", ErrBadScenario, sc.Profile.ProfileName(), err)
+		// Both sentinels stay inspectable: ErrBadScenario for the scenario
+		// layer, plus whatever the profile wrapped (e.g. netsim.ErrBadMatrix
+		// for a non-square or negative skew matrix).
+		return nil, fmt.Errorf("%w: profile %q: %w", ErrBadScenario, sc.Profile.ProfileName(), err)
 	}
 	if fn == nil {
 		return nil, nil

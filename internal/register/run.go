@@ -12,6 +12,7 @@ import (
 	"allforone/internal/netsim"
 	"allforone/internal/shmem"
 	"allforone/internal/sim"
+	"allforone/internal/vclock"
 )
 
 // This file is the register's closed-run entry point on the unified engine
@@ -112,6 +113,10 @@ type Result struct {
 	// interrupted operations (see sim.Result).
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work (events
+	// scheduled, timer-wheel cascades, deepest bucket); zero under the
+	// realtime engine (see sim.Result).
+	Sched vclock.SchedulerStats
 }
 
 // Config describes one scripted register execution.
@@ -411,6 +416,7 @@ func Run(cfg Config) (*Result, error) {
 		Quiesced:         out.Quiesced,
 		DeadlineExceeded: out.DeadlineExceeded,
 		StepsExceeded:    out.StepsExceeded,
+		Sched:            out.Sched,
 	}
 	for i, c := range clients {
 		res.Procs[i] = ProcResult{Status: c.status, Ops: c.ops}

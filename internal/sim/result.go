@@ -13,6 +13,7 @@ import (
 
 	"allforone/internal/metrics"
 	"allforone/internal/model"
+	"allforone/internal/vclock"
 )
 
 // Engine selects the execution engine that drives a simulated run. It
@@ -138,6 +139,10 @@ type Result struct {
 	// genuine non-decision.
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work — the timer-wheel
+	// observability surface (events scheduled, cascades, deepest bucket).
+	// Zero under the realtime engine; deterministic under the virtual one.
+	Sched vclock.SchedulerStats
 }
 
 // BoundedOut reports whether the run was cut short by an artificial bound

@@ -60,6 +60,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Quiesced:         res.Quiesced,
 		DeadlineExceeded: res.DeadlineExceeded,
 		StepsExceeded:    res.StepsExceeded,
+		Sched:            res.Sched,
 		Raw:              res,
 	}
 	for i, rr := range res.Replicas {

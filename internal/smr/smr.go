@@ -31,6 +31,7 @@ import (
 	"allforone/internal/netsim"
 	"allforone/internal/shmem"
 	"allforone/internal/sim"
+	"allforone/internal/vclock"
 )
 
 // Config describes one replicated-log execution.
@@ -108,6 +109,10 @@ type Result struct {
 	// (see sim.Result).
 	DeadlineExceeded bool
 	StepsExceeded    bool
+	// Sched counts the virtual scheduler's internal work (events
+	// scheduled, timer-wheel cascades, deepest bucket); zero under the
+	// realtime engine (see sim.Result).
+	Sched vclock.SchedulerStats
 }
 
 // CheckLogAgreement verifies that all replica logs agree slot-by-slot on
@@ -533,6 +538,7 @@ func Run(cfg Config) (*Result, error) {
 		Quiesced:         out.Quiesced,
 		DeadlineExceeded: out.DeadlineExceeded,
 		StepsExceeded:    out.StepsExceeded,
+		Sched:            out.Sched,
 	}
 	for i, o := range outcomes {
 		res.Replicas[i] = ReplicaResult{Status: o.status, Log: o.log, Rounds: o.rounds}

@@ -2,8 +2,8 @@
 // virtual-time execution engine underneath the simulated network and the
 // consensus runtimes.
 //
-// The scheduler owns a priority queue of timestamped events (ties broken by
-// schedule order) and a set of cooperatively stepped process coroutines.
+// The scheduler owns a priority structure of timestamped events (ties broken
+// by schedule order) and a set of cooperatively stepped process coroutines.
 // Exactly one piece of code runs at any instant: either the scheduler's
 // event loop or a single process coroutine, with control handed off through
 // unbuffered channel rendezvous. Because every interleaving decision is
@@ -11,9 +11,29 @@
 // function of its inputs: same configuration, same event order, same
 // result, bit for bit.
 //
+// # Tiered timer wheel
+//
+// Events are stored in a two-tier structure sized for the all-to-all
+// exchange pattern (Θ(n²) deliveries per round, DESIGN.md §10):
+//
+//   - a near-future timer wheel of wheelSlots buckets, each slotWidth of
+//     virtual time wide. Scheduling into the wheel is an O(1) append; the
+//     bucket covering the current instant (the "active" bucket) is kept as
+//     a small binary min-heap so pops cost O(log k) for k = bucket depth,
+//     not O(log E) for E = all pending events;
+//   - a far-future overflow min-heap for events past the wheel horizon.
+//     As the clock advances, overflow events whose instant enters the
+//     horizon cascade into their wheel bucket (each event cascades at most
+//     once, so cascading is O(1) amortized).
+//
+// The pop order is exactly the global (at, seq) order — the same total
+// order the previous single min-heap produced — so the swap is invisible
+// to every replay and determinism contract. SchedulerStats counts events
+// scheduled, wheel cascades, and the deepest bucket observed.
+//
 // Virtual time is measured in nanoseconds (Time is directly convertible
 // from time.Duration) but no real time ever passes: delivering a message
-// "4ms later" costs one heap operation. Runs therefore execute as fast as
+// "4ms later" costs one bucket append. Runs therefore execute as fast as
 // the hardware allows, and a run that would sit in timeouts under a
 // wall-clock engine instead terminates the moment the event queue goes
 // quiescent.
@@ -30,41 +50,129 @@
 // every coroutine has finished.
 package vclock
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
 // Time is a virtual instant, in nanoseconds since the start of the run.
 // It converts directly to and from time.Duration.
 type Time int64
 
+// Event is a schedulable callback. Implementations that are pointer-shaped
+// (pooled structs, funcs) ride the scheduler without a per-event
+// allocation — the zero-alloc delivery path of the simulated network
+// schedules pooled message-delivery events through AtEvent/AfterEvent.
+type Event interface {
+	// Fire runs the event. It executes under the scheduler's execution
+	// token, at the event's virtual instant.
+	Fire()
+}
+
+// eventFunc adapts a plain func() to Event. Func values are pointer-shaped,
+// so the conversion does not allocate.
+type eventFunc func()
+
+// Fire runs the wrapped function.
+func (f eventFunc) Fire() { f() }
+
 // event is one scheduled callback.
 type event struct {
 	at  Time
 	seq uint64 // schedule order; the deterministic tie-breaker
-	fn  func()
+	ev  Event
 }
 
-// eventHeap is a min-heap of events ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// before reports whether e precedes o in the global (at, seq) total order.
+func (e event) before(o event) bool {
+	if e.at != o.at {
+		return e.at < o.at
 	}
-	return h[i].seq < h[j].seq
+	return e.seq < o.seq
 }
-func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x any)   { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+
+// pushEvent adds ev to the min-heap h (ordered by before).
+func pushEvent(h *[]event, ev event) {
+	s := *h
+	s = append(s, ev)
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s[i].before(s[parent]) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+	*h = s
+}
+
+// popEvent removes and returns the minimum event of heap h.
+func popEvent(h *[]event) event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{}
+	s = s[:n]
+	siftDown(s, 0)
+	*h = s
+	return top
+}
+
+// siftDown restores the heap property below index i.
+func siftDown(s []event, i int) {
+	n := len(s)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s[l].before(s[min]) {
+			min = l
+		}
+		if r < n && s[r].before(s[min]) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}
+
+// heapify turns s into a min-heap in place.
+func heapify(s []event) {
+	for i := len(s)/2 - 1; i >= 0; i-- {
+		siftDown(s, i)
+	}
+}
+
+// Timer-wheel geometry. The wheel covers wheelSlots×slotWidth ≈ 4.2ms of
+// virtual time ahead of the active bucket — wide enough that the delay
+// bands every experiment profile draws from (µs to low ms) schedule O(1)
+// into the wheel; rarer far-future events (second-scale sleeps, crash
+// instants, partition heals) take the overflow heap and cascade in when
+// the horizon reaches them.
+const (
+	slotWidthShift = 14 // log2 of the bucket width: 16384ns ≈ 16µs
+	wheelSlots     = 256
+	wheelMask      = wheelSlots - 1
+)
+
+// slotOf returns the absolute wheel-slot index of a virtual instant.
+func slotOf(t Time) int64 { return int64(t) >> slotWidthShift }
+
+// SchedulerStats counts the scheduler's internal work — the observability
+// surface of the timer wheel. All counts are pure functions of the run's
+// inputs, so they replay bit-for-bit and may be compared across runs.
+type SchedulerStats struct {
+	// EventsScheduled is the total number of events handed to the
+	// scheduler (At/After/AtEvent/AfterEvent calls).
+	EventsScheduled int64
+	// WheelCascades is the number of events migrated from the far-future
+	// overflow heap into the wheel as the horizon advanced. Each event
+	// cascades at most once.
+	WheelCascades int64
+	// MaxBucketDepth is the deepest wheel bucket observed (events sharing
+	// one slotWidth window of virtual time) — the k of the O(log k) pop.
+	MaxBucketDepth int64
 }
 
 // Coroutine states.
@@ -131,6 +239,9 @@ type Outcome struct {
 	DeadlineExceeded bool
 	// StepsExceeded is set when the event budget ran out.
 	StepsExceeded bool
+	// Stats counts the scheduler's internal work (deterministic: same
+	// inputs, same counts).
+	Stats SchedulerStats
 }
 
 // Aborted reports whether the run was cut short for any reason.
@@ -141,9 +252,23 @@ func (o Outcome) Aborted() bool { return o.Quiesced || o.DeadlineExceeded || o.S
 // goroutine that calls Run, from event callbacks, or from coroutines — all
 // of which are serialized by the execution token.
 type Scheduler struct {
-	now  Time
-	heap eventHeap
-	seq  uint64
+	now Time
+	seq uint64
+
+	// Tiered timer wheel. Invariants between advances:
+	//   - active holds (as a min-heap) every pending event in slot curSlot;
+	//   - slots[s&wheelMask] holds the events of absolute slot s for
+	//     curSlot < s < curSlot+wheelSlots, unsorted;
+	//   - overflow holds (as a min-heap) events at or past the horizon —
+	//     plus, transiently, events whose slot entered the window since the
+	//     last advance; advance() drains those before choosing a bucket;
+	//   - wheelCount counts events in slots (excluding active/overflow).
+	active     []event
+	slots      [wheelSlots][]event
+	curSlot    int64
+	wheelCount int
+	overflow   []event
+	stats      SchedulerStats
 
 	procs    []*Proc
 	spawned  int
@@ -192,23 +317,111 @@ func (s *Scheduler) Now() Time { return s.now }
 // or event budget). Coroutines can poll it at convenient checkpoints.
 func (s *Scheduler) Aborted() bool { return s.aborted }
 
+// Stats returns the scheduler's work counters so far.
+func (s *Scheduler) Stats() SchedulerStats { return s.stats }
+
+// pending returns the number of undelivered events.
+func (s *Scheduler) pending() int {
+	return len(s.active) + s.wheelCount + len(s.overflow)
+}
+
 // At schedules fn to run at virtual instant t (clamped to now: virtual time
 // never flows backwards). Events at the same instant run in schedule order.
-func (s *Scheduler) At(t Time, fn func()) {
+func (s *Scheduler) At(t Time, fn func()) { s.AtEvent(t, eventFunc(fn)) }
+
+// After schedules fn to run d nanoseconds of virtual time from now.
+// Negative d is treated as zero.
+func (s *Scheduler) After(d Time, fn func()) { s.AfterEvent(d, eventFunc(fn)) }
+
+// AtEvent schedules ev to fire at virtual instant t (clamped to now). It is
+// the allocation-free twin of At: a pointer-shaped Event implementation
+// (e.g. a pooled message-delivery struct) is stored without boxing.
+func (s *Scheduler) AtEvent(t Time, ev Event) {
 	if t < s.now {
 		t = s.now
 	}
 	s.seq++
-	heap.Push(&s.heap, event{at: t, seq: s.seq, fn: fn})
+	s.stats.EventsScheduled++
+	s.insert(event{at: t, seq: s.seq, ev: ev})
 }
 
-// After schedules fn to run d nanoseconds of virtual time from now.
-// Negative d is treated as zero.
-func (s *Scheduler) After(d Time, fn func()) {
+// AfterEvent schedules ev to fire d nanoseconds of virtual time from now.
+func (s *Scheduler) AfterEvent(d Time, ev Event) {
 	if d < 0 {
 		d = 0
 	}
-	s.At(s.now+d, fn)
+	s.AtEvent(s.now+d, ev)
+}
+
+// insert routes an event to its tier: the active bucket's heap, a wheel
+// bucket, or the far-future overflow heap.
+func (s *Scheduler) insert(ev event) {
+	slot := slotOf(ev.at)
+	switch {
+	case slot <= s.curSlot:
+		// The active bucket — including the defensive clamp for events
+		// scheduled by unwinding coroutines after an abort peeked ahead
+		// (such events are never popped: the run processes no more events).
+		pushEvent(&s.active, ev)
+		if d := int64(len(s.active)); d > s.stats.MaxBucketDepth {
+			s.stats.MaxBucketDepth = d
+		}
+	case slot < s.curSlot+wheelSlots:
+		b := &s.slots[slot&wheelMask]
+		*b = append(*b, ev)
+		s.wheelCount++
+		if d := int64(len(*b)); d > s.stats.MaxBucketDepth {
+			s.stats.MaxBucketDepth = d
+		}
+	default:
+		pushEvent(&s.overflow, ev)
+	}
+}
+
+// advance makes the earliest pending event poppable from the active heap.
+// It returns false when no event is pending. advance only repositions
+// events between tiers (preserving the (at, seq) total order); it never
+// fires one, so peeking is side-effect free with respect to the run.
+func (s *Scheduler) advance() bool {
+	for {
+		// Cascade overflow events whose slot has entered the window. They
+		// were beyond the horizon when scheduled; the horizon has moved.
+		for len(s.overflow) > 0 && slotOf(s.overflow[0].at) < s.curSlot+wheelSlots {
+			ev := popEvent(&s.overflow)
+			s.stats.WheelCascades++
+			s.insert(ev)
+		}
+		if len(s.active) > 0 {
+			return true
+		}
+		if s.wheelCount > 0 {
+			// Walk the window to the next non-empty bucket and activate it.
+			end := s.curSlot + wheelSlots
+			for sl := s.curSlot + 1; sl < end; sl++ {
+				b := &s.slots[sl&wheelMask]
+				if len(*b) == 0 {
+					continue
+				}
+				s.curSlot = sl
+				s.wheelCount -= len(*b)
+				s.active = append(s.active[:0], *b...)
+				*b = (*b)[:0]
+				heapify(s.active)
+				break
+			}
+			if len(s.active) == 0 {
+				panic("vclock: wheelCount > 0 but no bucket found in window")
+			}
+			// Re-enter the loop: the window moved, overflow may cascade.
+			continue
+		}
+		if len(s.overflow) == 0 {
+			return false
+		}
+		// Wheel empty: jump the window to the earliest far-future event and
+		// let the cascade at the top of the loop pull it (and its cohort) in.
+		s.curSlot = slotOf(s.overflow[0].at)
+	}
 }
 
 // Spawn registers fn as a new coroutine. It starts runnable and takes its
@@ -300,13 +513,14 @@ func (s *Scheduler) Run() Outcome {
 			// closed inboxes, crash instants that never struck) must not
 			// advance the clock — they could inflate the run's reported
 			// duration arbitrarily. Pure-event schedulers (no coroutines)
-			// still drain the heap completely.
+			// still drain the wheel completely.
 			s.outcome.Now = s.now
 			s.outcome.Steps = s.steps
+			s.outcome.Stats = s.stats
 			return s.outcome
 		}
-		if !s.aborted && len(s.heap) > 0 {
-			if s.deadline > 0 && s.heap[0].at > s.deadline {
+		if !s.aborted && s.pending() > 0 && s.advance() {
+			if s.deadline > 0 && s.active[0].at > s.deadline {
 				s.outcome.DeadlineExceeded = true
 				s.abort()
 				continue
@@ -316,12 +530,12 @@ func (s *Scheduler) Run() Outcome {
 				s.abort()
 				continue
 			}
-			ev := heap.Pop(&s.heap).(event)
+			ev := popEvent(&s.active)
 			s.steps++
 			if ev.at > s.now {
 				s.now = ev.at
 			}
-			ev.fn()
+			ev.ev.Fire()
 			continue
 		}
 		if s.live > 0 {
@@ -337,6 +551,7 @@ func (s *Scheduler) Run() Outcome {
 		}
 		s.outcome.Now = s.now
 		s.outcome.Steps = s.steps
+		s.outcome.Stats = s.stats
 		return s.outcome
 	}
 }

@@ -81,6 +81,174 @@ func largeNScenario(t *testing.T, protocolName string, prof NetworkProfile, eng 
 	}
 }
 
+// veryLargeNScenario is the n≥512 analogue of largeNScenario: Blocks
+// topology with 64-process clusters, a timed 8-process minority crash
+// spread across distinct clusters, and an explicit per-link skew matrix
+// drawn once per n from a fixed seed (40µs cap, same as n=128).
+func veryLargeNScenario(t *testing.T, n int, protocolName string, prof NetworkProfile, eng Engine) Scenario {
+	t.Helper()
+	part, err := Blocks(n, n/64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(n)
+	for p := 0; p < 8; p++ {
+		if err := sched.SetTimed(ProcID(p*(n/8)+1), 150*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Scenario{
+		Protocol: protocolName,
+		Topology: Topology{Partition: part},
+		Workload: largeNWorkload(n, protocolName == ProtocolHybrid),
+		Faults:   sched,
+		Profile:  prof,
+		Engine:   eng,
+		Seed:     1303,
+		Bounds:   Bounds{MaxRounds: 10_000, Timeout: 60 * time.Second},
+	}
+}
+
+// TestVeryLargeNBitRepro pushes the determinism contract three doublings
+// past the old n≈128 ceiling: {hybrid, benor} × {n=512, n=1024} under a
+// seeded skew matrix, each cell checked for liveness, safety, and
+// bit-identical replay. This is the scale the timer-wheel scheduler and
+// the batched delivery path exist for; before them a single n=1024 cell
+// cost minutes of allocator churn.
+func TestVeryLargeNBitRepro(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=512/1024 matrix skipped in -short mode")
+	}
+	t.Parallel()
+	for _, n := range []int{512, 1024} {
+		rng := rand.New(rand.NewPCG(2024, uint64(n)))
+		matrix := netsim.RandomDelayMatrix(rng, n, 40*time.Microsecond)
+		prof := SkewMatrixProfile(matrix)
+		for _, protocolName := range []string{ProtocolHybrid, ProtocolBenOr} {
+			n, protocolName, prof := n, protocolName, prof
+			t.Run(fmt.Sprintf("%s/n=%d", protocolName, n), func(t *testing.T) {
+				t.Parallel()
+				first, err := Run(veryLargeNScenario(t, n, protocolName, prof, EngineVirtual))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if first.BoundedOut() {
+					t.Fatalf("run bounded out after %d steps", first.Steps)
+				}
+				if err := first.CheckAgreement(); err != nil {
+					t.Fatal(err)
+				}
+				if err := first.CheckValidity([]string{"0", "1"}); err != nil {
+					t.Fatal(err)
+				}
+				if !first.AllLiveDecided() {
+					t.Fatalf("live processes unfinished: decided %d, crashed %d, blocked %d of %d",
+						first.CountStatus(StatusDecided), first.CountStatus(StatusCrashed),
+						first.CountStatus(StatusBlocked), n)
+				}
+				if first.Sched.EventsScheduled == 0 || first.Sched.MaxBucketDepth == 0 {
+					t.Fatalf("scheduler stats empty: %+v", first.Sched)
+				}
+
+				second, err := Run(veryLargeNScenario(t, n, protocolName, prof, EngineVirtual))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !reflect.DeepEqual(first, second) {
+					t.Fatalf("n=%d replay diverged:\n  first:  %+v\n  second: %+v", n, first, second)
+				}
+			})
+		}
+	}
+}
+
+// TestVeryLargeNRealtimeDifferential runs the n=512 hybrid cell on the
+// goroutine-per-process backend (immediate delivery: per-message sleeper
+// goroutines at this message volume would swamp the runtime) as the
+// engine-differential safety check at scale.
+func TestVeryLargeNRealtimeDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("n=512 realtime differential skipped in -short mode")
+	}
+	t.Parallel()
+	out, err := Run(veryLargeNScenario(t, 512, ProtocolHybrid, nil, EngineRealtime))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := out.CheckValidity([]string{"0", "1"}); err != nil {
+		t.Fatal(err)
+	}
+	if !out.AllLiveDecided() {
+		t.Fatalf("realtime n=512: live processes unfinished: decided %d, crashed %d, blocked %d",
+			out.CountStatus(StatusDecided), out.CountStatus(StatusCrashed), out.CountStatus(StatusBlocked))
+	}
+}
+
+// TestE6MessageComplexityDoubling extends E6 (Θ(n²) messages per round,
+// paper §III-A) through three doublings past the harness's n≤32 sweep:
+// at every n the per-round message count normalized by n²·(rounds+1) must
+// stay Θ(1) — the doubling-n form of the quadratic-growth claim. One
+// seeded trial per n (deterministic under the virtual engine).
+func TestE6MessageComplexityDoubling(t *testing.T) {
+	if testing.Short() {
+		t.Skip("E6 doubling runs skipped in -short mode")
+	}
+	t.Parallel()
+	type cell struct {
+		n    int
+		msgs float64
+		norm float64
+	}
+	var cells []cell
+	for _, n := range []int{128, 256, 512, 1024} {
+		part, err := Blocks(n, n/8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		props := make([]Value, n)
+		for i := range props {
+			props[i] = One
+		}
+		out, err := Run(Scenario{
+			Protocol:  ProtocolHybrid,
+			Topology:  Topology{Partition: part},
+			Workload:  Workload{Binary: props},
+			Algorithm: AlgoCommonCoin,
+			Seed:      7,
+			Bounds:    Bounds{MaxRounds: 1000},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !out.AllLiveDecided() {
+			t.Fatalf("n=%d: crash-free run did not decide", n)
+		}
+		r := float64(out.MaxDecisionRound())
+		msgs := float64(out.Metrics.MsgsSent)
+		norm := msgs / (float64(n*n) * (r + 1))
+		// Each round is one broadcast per process (n² messages) plus the
+		// DECIDE echo broadcast (≈ n² more): the normalization sits near 1
+		// for every n if and only if growth is quadratic.
+		if norm < 0.5 || norm > 2.0 {
+			t.Fatalf("n=%d: msgs/(n²·(rounds+1)) = %.3f, outside [0.5, 2] — message growth is not Θ(n²)", n, norm)
+		}
+		cells = append(cells, cell{n: n, msgs: msgs, norm: norm})
+	}
+	for i := 1; i < len(cells); i++ {
+		ratio := cells[i].msgs / cells[i-1].msgs
+		// Doubling n must roughly quadruple messages; rounds jitter makes
+		// the band generous but it still separates n² from n or n³.
+		if ratio < 2 || ratio > 9 {
+			t.Fatalf("msgs(n=%d)/msgs(n=%d) = %.2f, outside the quadratic band [2, 9]",
+				cells[i].n, cells[i-1].n, ratio)
+		}
+		t.Logf("n=%4d → msgs %.3g, norm %.3f, doubling ratio %.2f", cells[i].n, cells[i].msgs, cells[i].norm, ratio)
+	}
+}
+
 // TestLargeNDifferentialAndReplay is the n=128 matrix: {hybrid, benor} ×
 // {skew matrix, healing partition} × {virtual twice (bit-repro), realtime
 // once (differential safety)}.
