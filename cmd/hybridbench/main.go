@@ -21,6 +21,7 @@ import (
 	"os"
 	"reflect"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -116,7 +117,10 @@ func run(args []string, out io.Writer) error {
 		parallel = fs.Int("parallel", 0, "worker pool size for independent trials/probes (0 = all CPUs)")
 		asJSON   = fs.Bool("json", false, "emit machine-readable output instead of tables")
 
-		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on >25% events/sec regression")
+		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on >25% events/sec or allocs/run regression")
+
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
 
 		search         = fs.Bool("search", false, "run the adversarial schedule search instead of the experiment suite")
 		searchProto    = fs.String("search-protocol", "hybrid", "registry protocol to attack")
@@ -131,6 +135,35 @@ func run(args []string, out io.Writer) error {
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hybridbench: -memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hybridbench: -memprofile:", err)
+			}
+		}()
 	}
 
 	if *benchCompare {
@@ -317,6 +350,19 @@ func runBenchCompare(oldPath, newPath string, out io.Writer) error {
 			regressions = append(regressions, ne.ID)
 		}
 		fmt.Fprintf(out, "%-4s %14.3g %14.3g %7.2fx  %s%s\n", ne.ID, oldVal, newVal, ratio, axis, marker)
+		// Second axis: allocation count per run is machine-independent, so
+		// gate it whenever both snapshots carry the figure. Invert so higher
+		// is better (fewer allocations), matching the throughput axis.
+		if oe.AllocsPerRun > 0 && ne.AllocsPerRun > 0 {
+			aRatio := oe.AllocsPerRun / ne.AllocsPerRun
+			aMarker := ""
+			if aRatio < maxRegression {
+				aMarker = "  ← REGRESSION"
+				regressions = append(regressions, ne.ID+"(allocs)")
+			}
+			fmt.Fprintf(out, "%-4s %14.3g %14.3g %7.2fx  %s%s\n",
+				ne.ID, oe.AllocsPerRun, ne.AllocsPerRun, aRatio, "allocs/run (lower is better)", aMarker)
+		}
 	}
 	// An experiment present in the old snapshot but absent from the new one
 	// must not silently escape the gate: a regressed experiment could hide

@@ -38,6 +38,12 @@ type Config struct {
 	// Config, same Result). sim.EngineRealtime keeps the original
 	// goroutine-per-process backend.
 	Engine sim.Engine
+	// Body selects the process-body form: sim.BodyAuto (the zero value)
+	// runs inline handlers under the virtual engine and coroutines under
+	// the realtime one; sim.BodyCoroutine forces the coroutine form for
+	// differential testing (both forms produce identical Results);
+	// sim.BodyHandler is rejected under EngineRealtime.
+	Body sim.BodyKind
 	// Crashes is the failure pattern; nil means crash-free. Stage
 	// StageAfterClusterConsensus has no counterpart here and triggers at
 	// the next step point.
@@ -165,6 +171,34 @@ func (p *proc) checkAbort(r int) *outcome {
 // until more than n/2 processes reported for (r, ph).
 func (p *proc) exchange(r, ph int, est model.Value) (*tally, *outcome) {
 	cur := phaseKey{round: r, phase: ph}
+	t, out := p.beginExchange(r, ph, est)
+	if out != nil {
+		return nil, out
+	}
+
+	for 2*t.total <= p.n {
+		msg, ok := p.net.Receive(p.id, p.h.Done())
+		if p.killedNow() {
+			// A timed crash struck while waiting: halt before acting on
+			// whatever was (or was not) received.
+			return nil, &outcome{status: sim.StatusCrashed, round: r}
+		}
+		if !ok {
+			return nil, &outcome{status: sim.StatusBlocked, round: r}
+		}
+		if out := p.feedExchange(cur, t, msg); out != nil {
+			return nil, out
+		}
+	}
+	return t, nil
+}
+
+// beginExchange opens the (r, ph) exchange without waiting: broadcast
+// (honoring a mid-broadcast crash) and replay buffered values. Both body
+// forms open exchanges through it, keeping the send sequence — and the
+// network's RNG stream — identical under either form.
+func (p *proc) beginExchange(r, ph int, est model.Value) (*tally, *outcome) {
+	cur := phaseKey{round: r, phase: ph}
 	if p.sched.ShouldCrash(p.id, failures.Point{Round: r, Phase: ph, Stage: failures.StageMidBroadcast}) {
 		plan, _ := p.sched.Plan(p.id)
 		recipients := plan.DeliverTo
@@ -181,33 +215,28 @@ func (p *proc) exchange(r, ph int, est model.Value) (*tally, *outcome) {
 		t.add(v)
 	}
 	delete(p.pending, cur)
+	return t, nil
+}
 
-	for 2*t.total <= p.n {
-		msg, ok := p.net.Receive(p.id, p.h.Done())
-		if p.killedNow() {
-			// A timed crash struck while waiting: halt before acting on
-			// whatever was (or was not) received.
-			return nil, &outcome{status: sim.StatusCrashed, round: r}
-		}
-		if !ok {
-			return nil, &outcome{status: sim.StatusBlocked, round: r}
-		}
-		switch payload := msg.Payload.(type) {
-		case decideMsg:
-			p.ctr.AddDecideMsgs(int64(p.n))
-			p.net.Broadcast(p.id, payload)
-			return nil, &outcome{status: sim.StatusDecided, val: payload.val, round: r}
-		case phaseMsg:
-			k := phaseKey{round: payload.round, phase: payload.phase}
-			switch {
-			case k == cur:
-				t.add(payload.est)
-			case cur.less(k):
-				p.pending[k] = append(p.pending[k], payload.est)
-			}
+// feedExchange accounts one received message against the exchange open at
+// cur. It returns a non-nil outcome when the message ends the execution (a
+// DECIDE was learned: rebroadcast, then decide).
+func (p *proc) feedExchange(cur phaseKey, t *tally, msg netsim.Message) *outcome {
+	switch payload := msg.Payload.(type) {
+	case decideMsg:
+		p.ctr.AddDecideMsgs(int64(p.n))
+		p.net.Broadcast(p.id, payload)
+		return &outcome{status: sim.StatusDecided, val: payload.val, round: cur.round}
+	case phaseMsg:
+		k := phaseKey{round: payload.round, phase: payload.phase}
+		switch {
+		case k == cur:
+			t.add(payload.est)
+		case cur.less(k):
+			p.pending[k] = append(p.pending[k], payload.est)
 		}
 	}
-	return t, nil
+	return nil
 }
 
 func (p *proc) decideNow(r, ph int, v model.Value) outcome {
@@ -332,21 +361,41 @@ func Run(cfg Config) (*sim.Result, error) {
 			return nil, fmt.Errorf("%w: proposal of %v is %v", ErrBadConfig, model.ProcID(i), v)
 		}
 	}
+	switch cfg.Body {
+	case sim.BodyAuto, sim.BodyHandler, sim.BodyCoroutine:
+	default:
+		return nil, fmt.Errorf("%w: unknown body kind %d", ErrBadConfig, int(cfg.Body))
+	}
+	if cfg.Body == sim.BodyHandler && cfg.Engine != sim.EngineVirtual {
+		return nil, fmt.Errorf("%w: handler bodies require the virtual engine", ErrBadConfig)
+	}
 	var ctr metrics.Counters
 	var nw *netsim.Network
 	outcomes := make([]outcome, cfg.N)
-	out, err := driver.Run(driver.Config{
+	dcfg := driver.Config{
 		Engine:         cfg.Engine,
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x9e6c_63d0_876a_9a7d, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
-		func(i int, h *driver.Handle) {
+	}
+	newNet := driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x9e6c_63d0_876a_9a7d, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
+	var out driver.Outcome
+	var err error
+	if cfg.Engine == sim.EngineVirtual && cfg.Body != sim.BodyCoroutine {
+		// The default fast path: inline handler bodies (DESIGN.md §11).
+		out, err = driver.RunHandlers(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) driver.Reactor {
+			p := newProc(&cfg, i, nw, &ctr)
+			p.h = h
+			return &reactor{proc: p, proposal: cfg.Proposals[i], store: &outcomes[i]}
+		})
+	} else {
+		out, err = driver.Run(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) {
 			p := newProc(&cfg, i, nw, &ctr)
 			p.h = h
 			outcomes[i] = p.run(cfg.Proposals[i])
 		})
+	}
 	if err != nil {
 		return nil, err
 	}

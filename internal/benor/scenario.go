@@ -32,6 +32,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Proposals:      sc.Workload.Binary,
 		Seed:           sc.Seed,
 		Engine:         sc.Engine,
+		Body:           sc.Body,
 		Crashes:        sc.Faults,
 		MaxRounds:      sc.Bounds.MaxRounds,
 		Timeout:        sc.Bounds.Timeout,

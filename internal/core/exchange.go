@@ -2,6 +2,7 @@ package core
 
 import (
 	"allforone/internal/model"
+	"allforone/internal/netsim"
 	"allforone/internal/trace"
 )
 
@@ -95,19 +96,10 @@ func (s *supporters) exitCondition() bool { return s.covers.IsMajority() }
 // been accounted at those positions or are irrelevant to them).
 func (p *proc) msgExchange(r, ph int, est model.Value) (*supporters, *outcome) {
 	cur := phaseKey{round: r, phase: ph}
-	sup := newSupporters(p.part.N())
-
-	// Broadcast (line 3) — may be interrupted by a mid-broadcast crash.
-	if crashed := p.broadcastPhase(r, ph, est); crashed {
-		out := p.crashNow(r, ph)
-		return nil, &out
+	sup, out := p.beginExchange(r, ph, est)
+	if out != nil {
+		return nil, out
 	}
-
-	// Replay messages buffered for this position by earlier exchanges.
-	for _, bm := range p.pending[cur] {
-		sup.add(p.part, bm.from, bm.est, p.ablateClosure)
-	}
-	delete(p.pending, cur)
 
 	// Collect until the closure covers a majority (lines 4-7).
 	for !sup.exitCondition() {
@@ -123,27 +115,59 @@ func (p *proc) msgExchange(r, ph int, est model.Value) (*supporters, *outcome) {
 			p.log.Append(p.id, trace.KindBlocked, r, ph, model.Bot)
 			return nil, &out
 		}
-		switch payload := msg.Payload.(type) {
-		case DecideMsg:
-			// Line 17: rebroadcast DECIDE, then decide.
-			p.broadcastDecide(payload.Val)
-			p.log.Append(p.id, trace.KindDecide, r, ph, payload.Val)
-			out := outcome{status: StatusDecided, val: payload.Val, round: r}
-			return nil, &out
-		case PhaseMsg:
-			k := phaseKey{round: payload.Round, phase: payload.Phase}
-			switch {
-			case k == cur:
-				sup.add(p.part, msg.From, payload.Est, p.ablateClosure)
-			case cur.less(k):
-				p.pending[k] = append(p.pending[k], bufferedMsg{from: msg.From, est: payload.Est})
-			default:
-				// Stale: an earlier position's message; ignore.
-			}
-		default:
-			// Unknown payloads indicate a wiring bug; ignore defensively.
+		if out := p.feedExchange(cur, sup, msg); out != nil {
+			return nil, out
 		}
 	}
 	p.log.Append(p.id, trace.KindExchangeExit, r, ph, est)
 	return sup, nil
+}
+
+// beginExchange opens msg_exchange(r, ph, est) without waiting for any
+// message: broadcast (line 3, honoring a mid-broadcast crash) and replay
+// the messages earlier exchanges buffered for this position. Both body
+// forms open exchanges through it, so the broadcast/replay sequence — and
+// with it the network's RNG stream — is identical under either form.
+func (p *proc) beginExchange(r, ph int, est model.Value) (*supporters, *outcome) {
+	cur := phaseKey{round: r, phase: ph}
+	sup := newSupporters(p.part.N())
+
+	if crashed := p.broadcastPhase(r, ph, est); crashed {
+		out := p.crashNow(r, ph)
+		return nil, &out
+	}
+
+	for _, bm := range p.pending[cur] {
+		sup.add(p.part, bm.from, bm.est, p.ablateClosure)
+	}
+	delete(p.pending, cur)
+	return sup, nil
+}
+
+// feedExchange accounts one received message against the exchange open at
+// cur: current-position phase messages feed the supporters tally, future
+// ones are buffered for replay, stale ones dropped. It returns a non-nil
+// outcome when the message ends the execution — a DECIDE was learned, so
+// the process rebroadcasts DECIDE and decides (line 17).
+func (p *proc) feedExchange(cur phaseKey, sup *supporters, msg netsim.Message) *outcome {
+	switch payload := msg.Payload.(type) {
+	case DecideMsg:
+		// Line 17: rebroadcast DECIDE, then decide.
+		p.broadcastDecide(payload.Val)
+		p.log.Append(p.id, trace.KindDecide, cur.round, cur.phase, payload.Val)
+		return &outcome{status: StatusDecided, val: payload.Val, round: cur.round}
+	case PhaseMsg:
+		k := phaseKey{round: payload.Round, phase: payload.Phase}
+		switch {
+		case k == cur:
+			sup.add(p.part, msg.From, payload.Est, p.ablateClosure)
+		case cur.less(k):
+			p.pending[k] = append(p.pending[k], bufferedMsg{from: msg.From, est: payload.Est})
+		default:
+			// Stale: an earlier position's message; ignore.
+		}
+	default:
+		// Unknown payloads indicate a wiring bug; ignore defensively.
+	}
+	return nil
 }

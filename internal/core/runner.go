@@ -73,6 +73,13 @@ type Config struct {
 	Algorithm Algorithm
 	// Engine selects the execution engine; the zero value is EngineVirtual.
 	Engine Engine
+	// Body selects the process-body form (sim.BodyAuto, the zero value,
+	// picks inline handlers under the virtual engine — the fast path —
+	// and coroutines under the realtime one). sim.BodyCoroutine forces
+	// the coroutine form for differential testing; both forms execute
+	// the same algorithm with identical Results. sim.BodyHandler demands
+	// the handler form and is rejected under EngineRealtime.
+	Body sim.BodyKind
 	// Seed makes all randomness of the run (coins, delays, crash subsets)
 	// reproducible. Under EngineVirtual it pins the entire execution.
 	Seed int64
@@ -174,6 +181,14 @@ func (cfg *Config) validate() (int, error) {
 	}
 	if cfg.Engine != EngineVirtual && cfg.Engine != EngineRealtime {
 		return 0, fmt.Errorf("%w: unknown engine %d", ErrBadConfig, int(cfg.Engine))
+	}
+	switch cfg.Body {
+	case sim.BodyAuto, sim.BodyHandler, sim.BodyCoroutine:
+	default:
+		return 0, fmt.Errorf("%w: unknown body kind %d", ErrBadConfig, int(cfg.Body))
+	}
+	if cfg.Body == sim.BodyHandler && cfg.Engine != EngineVirtual {
+		return 0, fmt.Errorf("%w: handler bodies require the virtual engine", ErrBadConfig)
 	}
 	if cfg.MaxRounds < 0 {
 		return 0, fmt.Errorf("%w: negative MaxRounds", ErrBadConfig)
@@ -301,17 +316,28 @@ func Run(cfg Config) (*Result, error) {
 		return nil, err
 	}
 	env := newExecEnv(&cfg, n)
-	out, err := driver.Run(driver.Config{
+	dcfg := driver.Config{
 		Engine:         cfg.Engine,
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
 		Crashes:        cfg.Crashes,
-	}, n, env.newNetwork(&cfg), func(i int, h *driver.Handle) {
-		p := env.newProc(&cfg, i)
-		p.h = h
-		env.run(&cfg, p, cfg.Proposals[i])
-	})
+	}
+	var out driver.Outcome
+	if cfg.Engine == EngineVirtual && cfg.Body != sim.BodyCoroutine {
+		// The default fast path: inline handler bodies (DESIGN.md §11).
+		out, err = driver.RunHandlers(dcfg, n, env.newNetwork(&cfg), func(i int, h *driver.Handle) driver.Reactor {
+			p := env.newProc(&cfg, i)
+			p.h = h
+			return env.newReactor(&cfg, i, p)
+		})
+	} else {
+		out, err = driver.Run(dcfg, n, env.newNetwork(&cfg), func(i int, h *driver.Handle) {
+			p := env.newProc(&cfg, i)
+			p.h = h
+			env.run(&cfg, p, cfg.Proposals[i])
+		})
+	}
 	if err != nil {
 		return nil, err
 	}

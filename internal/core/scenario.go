@@ -58,6 +58,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Proposals:      sc.Workload.Binary,
 		Algorithm:      algo,
 		Engine:         sc.Engine,
+		Body:           sc.Body,
 		Seed:           sc.Seed,
 		Crashes:        sc.Faults,
 		MaxRounds:      sc.Bounds.MaxRounds,

@@ -53,6 +53,11 @@ var ErrBadEngine = errors.New("driver: unknown engine")
 // the engine indexes its per-process crash state.
 var ErrBadCrashes = errors.New("driver: crash schedule exceeds the run's process count")
 
+// ErrBadBody reports a body-form/engine combination the driver cannot run:
+// inline handler bodies exist only under the virtual engine (the realtime
+// engine's blocking receives need a goroutine per process).
+var ErrBadBody = errors.New("driver: handler bodies require the virtual engine")
+
 // Config carries the engine knobs shared by every protocol runner. The
 // protocol-specific parts of a run (proposals, partitions, coins, crash
 // step points) stay in the protocol package's own Config; this struct is
@@ -92,6 +97,32 @@ type NewNetFunc func(extra ...netsim.Option) (*netsim.Network, error)
 // observing engine state through h. The driver closes process i's inbox
 // when the body returns.
 type Body func(i int, h *Handle)
+
+// Reactor is the inline event-handler form of a process body (DESIGN.md
+// §11): instead of a straight-line function that blocks in receives, the
+// protocol exposes a resumable state machine the scheduler invokes
+// directly under its execution token — zero channel rendezvous, zero
+// goroutines. The two forms are behaviorally interchangeable: a protocol
+// implementing both must make the same decisions in the same rounds with
+// the same message counts under either one.
+type Reactor interface {
+	// React runs one invocation: drain every deliverable message
+	// (netsim.Network.ReceiveNow) and advance the state machine to its
+	// next wait point. It must return instead of blocking — no Park, no
+	// blocking Receive, no Handle.Sleep. The return value reports whether
+	// the process has finished (decided, crashed, or blocked); after
+	// returning true the reactor is never invoked again.
+	//
+	// aborted = true means the run was aborted (quiescence, deadline, or
+	// step budget): the reactor must record its blocked outcome and return
+	// true — the inline analogue of a blocking receive returning false.
+	React(aborted bool) bool
+}
+
+// HandlerBody builds process i's reactor. It runs at spawn time (before
+// the run's first event), so reactors exist in process order — mirroring
+// the spawn-order first steps of coroutine bodies.
+type HandlerBody func(i int, h *Handle) Reactor
 
 // StandardNet returns the NewNetFunc shared by most protocol runners: a
 // fully connected network over n processes with a package-specific seed
@@ -168,10 +199,11 @@ func (o Outcome) Fill(res *sim.Result) {
 // clock/done is set; killed is always set.
 type Handle struct {
 	clock  *vclock.Scheduler
-	proc   *vclock.Proc // the body's own coroutine (virtual engine)
+	proc   *vclock.Proc // the body's own process (virtual engine)
 	done   <-chan struct{}
 	killed *atomic.Bool
 	start  time.Time // run start (realtime engine), for Now
+	inline bool      // the body is a Reactor: it must never suspend
 }
 
 // Now returns the run clock: the virtual clock under the virtual engine
@@ -214,8 +246,13 @@ func (h *Handle) Done() <-chan struct{} { return h.done }
 // engine (zero wall-clock cost), wall-clock time under the realtime
 // engine. It returns false when the run was aborted before the full
 // duration elapsed. Sleep must only be called from the body's own
-// process context.
+// process context, and never from a Reactor — a handler body has no
+// goroutine to suspend (DESIGN.md §11); it must instead schedule its
+// future work as an event and return.
 func (h *Handle) Sleep(d time.Duration) bool {
+	if h.inline {
+		panic("driver: Sleep called from a handler body (reactors must not suspend)")
+	}
 	if d <= 0 {
 		return !h.Aborted()
 	}
@@ -256,20 +293,105 @@ func Run(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
 	return Outcome{}, fmt.Errorf("%w %d", ErrBadEngine, int(cfg.Engine))
 }
 
-// runVirtual drives the run on a deterministic discrete-event scheduler:
-// same inputs, same Outcome. Blocked runs end at quiescence instead of a
-// wall-clock timeout.
-func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+// RunHandlers executes n inline handler processes (one Reactor each) under
+// the virtual engine and returns the engine-level outcome. It is the
+// handler-body twin of Run: the same lifecycle (network construction,
+// spawning, timed crashes, abort detection, shutdown) with the scheduler
+// invoking each reactor directly instead of rendezvousing with a
+// goroutine. Handler bodies exist only under the virtual engine; any other
+// cfg.Engine yields ErrBadBody — protocols offering both forms fall back
+// to coroutine bodies (Run) for realtime runs.
+func RunHandlers(cfg Config, n int, newNet NewNetFunc, mk HandlerBody) (Outcome, error) {
+	if cfg.Engine != sim.EngineVirtual {
+		return Outcome{}, fmt.Errorf("%w (engine %v)", ErrBadBody, cfg.Engine)
+	}
+	if err := cfg.Crashes.ValidateFor(n); err != nil {
+		return Outcome{}, fmt.Errorf("%w: %v", ErrBadCrashes, err)
+	}
+	clock := newVirtualClock(cfg)
+	var nw *netsim.Network
+	if newNet != nil {
+		var err error
+		if nw, err = newNet(netsim.WithScheduler(clock)); err != nil {
+			return Outcome{}, err
+		}
+	}
+
+	killed := make([]atomic.Bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		h := &Handle{clock: clock, killed: &killed[i], inline: true}
+		r := mk(i, h)
+		h.proc = clock.SpawnHandler(fmt.Sprintf("p%d", i), func(aborted bool) {
+			if r.React(aborted) {
+				h.proc.Finish()
+				if nw != nil {
+					nw.CloseInbox(model.ProcID(i))
+				}
+			}
+		})
+		if nw != nil {
+			nw.Bind(model.ProcID(i), h.proc)
+		}
+	}
+
+	installTimedCrashes(clock, cfg, killed, nw)
+	out := clock.Run()
+	if nw != nil {
+		nw.Shutdown()
+	}
+	return virtualOutcome(out), nil
+}
+
+// newVirtualClock builds a run's scheduler from the config's bounds.
+func newVirtualClock(cfg Config) *vclock.Scheduler {
 	maxSteps := cfg.MaxSteps
 	if maxSteps == 0 {
 		maxSteps = sim.DefaultMaxSteps
 	} else if maxSteps < 0 {
 		maxSteps = 0 // vclock: 0 = unbounded
 	}
-	clock := vclock.New(
+	return vclock.New(
 		vclock.WithDeadline(vclock.Time(cfg.MaxVirtualTime)),
 		vclock.WithMaxSteps(maxSteps),
 	)
+}
+
+// installTimedCrashes schedules the timed crash events: at each virtual
+// instant, mark the victim killed and close its inbox; the victim halts at
+// its next step point. Timed() returns a sorted slice, keeping event
+// installation deterministic.
+func installTimedCrashes(clock *vclock.Scheduler, cfg Config, killed []atomic.Bool, nw *netsim.Network) {
+	for _, tc := range cfg.Crashes.Timed() {
+		tc := tc
+		clock.At(vclock.Time(tc.At), func() {
+			killed[tc.P].Store(true)
+			if nw != nil {
+				nw.CloseInbox(tc.P)
+			}
+		})
+	}
+}
+
+// virtualOutcome packages a finished scheduler run as the engine-level
+// Outcome.
+func virtualOutcome(out vclock.Outcome) Outcome {
+	return Outcome{
+		Elapsed:          time.Duration(out.Now),
+		VirtualTime:      time.Duration(out.Now),
+		Steps:            out.Steps,
+		Quiesced:         out.Quiesced,
+		DeadlineExceeded: out.DeadlineExceeded,
+		StepsExceeded:    out.StepsExceeded,
+		Sched:            out.Stats,
+	}
+}
+
+// runVirtual drives the run on a deterministic discrete-event scheduler:
+// same inputs, same Outcome. Blocked runs end at quiescence instead of a
+// wall-clock timeout.
+func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
+	clock := newVirtualClock(cfg)
 	var nw *netsim.Network
 	if newNet != nil {
 		var err error
@@ -293,32 +415,12 @@ func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error
 		}
 	}
 
-	// Timed crashes: at each virtual instant, mark the victim killed and
-	// close its inbox; the victim halts at its next step point. Timed()
-	// returns a sorted slice, keeping event installation deterministic.
-	for _, tc := range cfg.Crashes.Timed() {
-		tc := tc
-		clock.At(vclock.Time(tc.At), func() {
-			killed[tc.P].Store(true)
-			if nw != nil {
-				nw.CloseInbox(tc.P)
-			}
-		})
-	}
-
+	installTimedCrashes(clock, cfg, killed, nw)
 	out := clock.Run()
 	if nw != nil {
 		nw.Shutdown()
 	}
-	return Outcome{
-		Elapsed:          time.Duration(out.Now),
-		VirtualTime:      time.Duration(out.Now),
-		Steps:            out.Steps,
-		Quiesced:         out.Quiesced,
-		DeadlineExceeded: out.DeadlineExceeded,
-		StepsExceeded:    out.StepsExceeded,
-		Sched:            out.Stats,
-	}, nil
+	return virtualOutcome(out), nil
 }
 
 // runRealtime is the goroutine-per-process backend: one goroutine per

@@ -88,6 +88,21 @@ func (v *Virtual[T]) Get() (T, bool) {
 	}
 }
 
+// TryGetOrClosed removes and returns the oldest item without parking; when
+// the inbox is empty it additionally reports whether it is closed, i.e. no
+// further item can ever arrive. It is the wait-free receive primitive of
+// the batched-drain delivery mode (DESIGN.md §11): an inline handler body
+// drains the whole ring in one invocation by calling it until ok is false,
+// then uses closed to distinguish "return and wait for the next wake" from
+// "blocked forever" — the two verdicts Get encodes as parking vs false.
+func (v *Virtual[T]) TryGetOrClosed() (item T, ok, closed bool) {
+	item, ok = v.TryGet()
+	if ok {
+		return item, true, false
+	}
+	return item, false, v.closed
+}
+
 // TryGet removes and returns the oldest item without parking.
 func (v *Virtual[T]) TryGet() (T, bool) {
 	var zero T

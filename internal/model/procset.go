@@ -14,8 +14,10 @@ import (
 // A ProcSet is not safe for concurrent use; each simulated process owns its
 // own sets.
 type ProcSet struct {
-	n     int
-	words []uint64
+	n      int
+	cnt    int // cardinality, maintained incrementally: Count is O(1)
+	lo, hi int // word-index bounds of the set bits (lo > hi ⇒ empty)
+	words  []uint64
 }
 
 // NewProcSet returns an empty set over the universe {0 … n-1}.
@@ -23,7 +25,8 @@ func NewProcSet(n int) *ProcSet {
 	if n < 0 {
 		n = 0
 	}
-	return &ProcSet{n: n, words: make([]uint64, (n+63)/64)}
+	w := (n + 63) / 64
+	return &ProcSet{n: n, lo: w, hi: -1, words: make([]uint64, w)}
 }
 
 // Universe returns the size n of the universe the set ranges over.
@@ -36,7 +39,17 @@ func (s *ProcSet) Add(p ProcID) {
 	if i < 0 || i >= s.n {
 		return
 	}
-	s.words[i>>6] |= 1 << (uint(i) & 63)
+	w, bit := i>>6, uint64(1)<<(uint(i)&63)
+	if s.words[w]&bit == 0 {
+		s.words[w] |= bit
+		s.cnt++
+		if w < s.lo {
+			s.lo = w
+		}
+		if w > s.hi {
+			s.hi = w
+		}
+	}
 }
 
 // AddAll inserts every id in ps.
@@ -55,27 +68,39 @@ func (s *ProcSet) Contains(p ProcID) bool {
 	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
 }
 
-// Count returns the cardinality of the set.
-func (s *ProcSet) Count() int {
-	c := 0
-	for _, w := range s.words {
-		c += bits.OnesCount64(w)
-	}
-	return c
-}
+// Count returns the cardinality of the set. It is O(1): mutators keep the
+// count up to date, so the per-message exit-condition check of Algorithm 1
+// (IsMajority after every accounted sender) costs no bitmap scan.
+func (s *ProcSet) Count() int { return s.cnt }
 
 // UnionInto adds every member of other into s. The two sets must range over
 // the same universe; mismatched sets are merged over the shorter word span.
+// Only other's populated word span is visited, so merging a small dense set
+// (a cluster closure) into a wide one costs O(|span|), not O(n/64) — the
+// per-message supporters accounting of Algorithm 1 rides on this.
 func (s *ProcSet) UnionInto(other *ProcSet) {
 	if other == nil {
 		return
 	}
-	k := len(s.words)
-	if len(other.words) < k {
-		k = len(other.words)
+	lo, hi := other.lo, other.hi
+	if k := len(s.words); hi >= k {
+		hi = k - 1
 	}
-	for i := 0; i < k; i++ {
-		s.words[i] |= other.words[i]
+	for i := lo; i <= hi; i++ {
+		old := s.words[i]
+		merged := old | other.words[i]
+		if merged != old {
+			s.words[i] = merged
+			s.cnt += bits.OnesCount64(merged &^ old)
+		}
+	}
+	if lo <= hi {
+		if lo < s.lo {
+			s.lo = lo
+		}
+		if hi > s.hi {
+			s.hi = hi
+		}
 	}
 }
 
@@ -108,7 +133,7 @@ func (s *ProcSet) IsMajority() bool { return 2*s.Count() > s.n }
 
 // Clone returns an independent copy of the set.
 func (s *ProcSet) Clone() *ProcSet {
-	c := &ProcSet{n: s.n, words: make([]uint64, len(s.words))}
+	c := &ProcSet{n: s.n, cnt: s.cnt, lo: s.lo, hi: s.hi, words: make([]uint64, len(s.words))}
 	copy(c.words, s.words)
 	return c
 }
@@ -118,6 +143,8 @@ func (s *ProcSet) Clear() {
 	for i := range s.words {
 		s.words[i] = 0
 	}
+	s.cnt = 0
+	s.lo, s.hi = len(s.words), -1
 }
 
 // Members returns the sorted member ids.

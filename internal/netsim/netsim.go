@@ -20,10 +20,8 @@
 package netsim
 
 import (
-	"cmp"
 	"fmt"
 	"math/rand/v2"
-	"slices"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -60,6 +58,12 @@ type options struct {
 	timedFn  TimedDelayFn
 	counters *metrics.Counters
 	sched    *vclock.Scheduler
+
+	// uniform mirrors a WithUniformDelay policy so the virtual-mode fanout
+	// loop can draw delays inline — same RNG stream as the delayFn closure,
+	// minus the closure call and Message construction per recipient.
+	uniform         bool
+	uniMin, uniSpan time.Duration
 }
 
 // Option customizes a Network.
@@ -76,9 +80,11 @@ func WithUniformDelay(min, max time.Duration) Option {
 	return func(o *options) {
 		if max <= 0 {
 			o.delayFn = nil
+			o.uniform = false
 			return
 		}
 		span := max - min
+		o.uniform, o.uniMin, o.uniSpan = true, min, span
 		o.delayFn = func(rng *rand.Rand, _ Message) time.Duration {
 			if span <= 0 {
 				return min
@@ -141,6 +147,9 @@ type Network struct {
 	freeDeliveries []*delivery
 	freeFanouts    []*fanout
 	everyone       []model.ProcID // the 0 … n-1 recipient list (SendAll); built once in New
+	sortKeys       []uint64       // packed-key build/sort scratch (sendFan)
+	sortAlt        []uint64       // radix-sort ping-pong scratch (sendFan)
+	closedBox      []uint64       // closed-inbox bitmap, mirrors vboxes[i].Closed()
 }
 
 // delivery is a pooled single-message delivery event (virtual mode): the
@@ -159,41 +168,146 @@ func (d *delivery) Fire() {
 	box.Put(msg)
 }
 
-// arrival is one recipient of a fanout, tagged with its delivery instant.
-type arrival struct {
-	at vclock.Time
-	to model.ProcID
-}
-
 // fanout is a pooled batched-broadcast event (virtual mode): one broadcast
 // schedules a single event that materializes its deliveries lazily —
 // arrivals are sorted by instant, each firing delivers the cohort due now
 // and reschedules the event at the next distinct instant. A broadcast with
 // g distinct arrival instants costs g scheduler events instead of n, and
 // zero allocations once the pool is warm.
+//
+// Arrivals are sorted at send time as packed uint64 words —
+// (delay << fanSeqBits) | recipient — in network-level scratch (hot across
+// broadcasts), then stored on the fanout delta-compressed: each uint32
+// entry is (gap to the previous arrival << fanSeqBits) | recipient, with
+// f.base tracking the absolute instant of the next undelivered arrival.
+// Compression is lossless (gaps sum back to the exact drawn delays) and
+// matters because a broadcast's undelivered tail keeps the fanout live for
+// the full delay span: at n=1024 thousands of fanouts are in flight at
+// once, and 4-byte entries halve that resident set — the Fire path is
+// cache-miss-bound on it. Arrivals whose gap overflows 32-fanSeqBits bits
+// (> half a virtual millisecond between consecutive sorted arrivals) fall
+// back to the uncompressed key64 form. Recipients sharing an arrival
+// instant (gap 0) deliver in recipient-list order (the sort is stable);
+// each recipient appears at most once per fanout, so the tie-break only
+// decides mailbox wake order.
 type fanout struct {
 	nw      *Network
 	from    model.ProcID
 	payload any
-	arr     []arrival
-	next    int
+	base    vclock.Time // instant of the arrival at index next (key32 form) or the send instant (key64 form)
+	key32   []uint32    // (gap<<fanSeqBits)|recipient; gap relative to the previous entry
+	key64   []uint64    // fallback: (delay<<fanSeqBits)|recipient, delay relative to base
+	next    int         // index of the next entry to deliver
+}
+
+// Packed-key bounds: recipient ids need fanSeqBits, leaving 50 bits of
+// delay — about 13 virtual days. Networks wider than 1<<fanSeqBits
+// processes, or a delay draw beyond the bound, fall back to one pooled
+// per-message delivery event (correct, just not batched).
+const (
+	fanSeqBits  = 13
+	maxPackFan  = 1 << fanSeqBits
+	maxPackWait = vclock.Time(1) << (63 - fanSeqBits)
+)
+
+// LSD radix geometry: 12-bit digits sort the common case — sub-4ms delay
+// plus 13 recipient bits ≈ 35 significant bits — in three linear passes.
+const (
+	radixBits = 12
+	radixSize = 1 << radixBits
+)
+
+// radixSortU64 sorts keys by LSD counting passes on the digits from lowBit
+// up, using *alt as the ping-pong buffer; bits below lowBit are ignored by
+// the ordering but ride along, and keys with equal sorted digits keep
+// their input order (each pass is a stable counting sort). Passing the
+// delay field's offset as lowBit sorts a fanout by arrival instant with
+// the append position — recipient order — as the tie-break, without
+// spending a radix pass on the recipient bits. Returns the sorted slice
+// (which may be *alt's backing array; the other array is left in *alt).
+func radixSortU64(keys []uint64, alt *[]uint64, maxKey uint64, lowBit uint) []uint64 {
+	if cap(*alt) < len(keys) {
+		*alt = make([]uint64, len(keys))
+	}
+	tmp := (*alt)[:len(keys)]
+	var counts [radixSize]int32
+	for shift := lowBit; maxKey>>shift != 0; shift += radixBits {
+		counts = [radixSize]int32{}
+		for _, k := range keys {
+			counts[(k>>shift)&(radixSize-1)]++
+		}
+		sum := int32(0)
+		for i := range counts {
+			c := counts[i]
+			counts[i] = sum
+			sum += c
+		}
+		for _, k := range keys {
+			d := (k >> shift) & (radixSize - 1)
+			tmp[counts[d]] = k
+			counts[d]++
+		}
+		keys, tmp = tmp, keys
+	}
+	*alt = tmp[:0]
+	return keys
 }
 
 // Fire delivers every arrival due at the current instant, then either
 // reschedules for the next instant or returns to the pool.
 func (f *fanout) Fire() {
-	now := f.arr[f.next].at
-	for f.next < len(f.arr) && f.arr[f.next].at == now {
-		to := f.arr[f.next].to
-		f.nw.vboxes[to].Put(Message{From: f.from, To: to, Payload: f.payload})
-		f.next++
-	}
-	if f.next < len(f.arr) {
-		f.nw.opts.sched.AtEvent(f.arr[f.next].at, f)
+	if f.key64 != nil {
+		f.fire64()
 		return
 	}
+	for {
+		k := f.key32[f.next]
+		to := model.ProcID(k & (maxPackFan - 1))
+		if !f.nw.boxClosed(to) { // closed after send: Put would drop it anyway
+			f.nw.vboxes[to].Put(Message{From: f.from, To: to, Payload: f.payload})
+		}
+		f.next++
+		if f.next < len(f.key32) {
+			if gap := f.key32[f.next] >> fanSeqBits; gap != 0 {
+				f.base += vclock.Time(gap)
+				f.nw.opts.sched.AtEvent(f.base, f)
+				return
+			}
+			continue
+		}
+		break
+	}
+	f.release()
+}
+
+// fire64 is Fire for the uncompressed fallback form.
+func (f *fanout) fire64() {
+	k := f.key64[f.next]
+	due := k >> fanSeqBits
+	for {
+		to := model.ProcID(k & (maxPackFan - 1))
+		if !f.nw.boxClosed(to) {
+			f.nw.vboxes[to].Put(Message{From: f.from, To: to, Payload: f.payload})
+		}
+		f.next++
+		if f.next < len(f.key64) {
+			k = f.key64[f.next]
+			if k>>fanSeqBits != due {
+				f.nw.opts.sched.AtEvent(f.base+vclock.Time(k>>fanSeqBits), f)
+				return
+			}
+			continue
+		}
+		break
+	}
+	f.release()
+}
+
+// release returns the exhausted fanout to the pool.
+func (f *fanout) release() {
 	f.payload = nil
-	f.arr = f.arr[:0]
+	f.key32 = f.key32[:0]
+	f.key64 = nil
 	f.next = 0
 	f.nw.freeFanouts = append(f.nw.freeFanouts, f)
 }
@@ -208,14 +322,21 @@ func (nw *Network) getDelivery() *delivery {
 	return &delivery{nw: nw}
 }
 
-// getFanout pops a pooled fanout event or makes one.
-func (nw *Network) getFanout() *fanout {
+// getFanout pops a pooled fanout event or makes one, with room for up to
+// want arrivals. Sizing the entry slice exactly up front matters: a fanout
+// whose tail arrivals outlive the run never returns to the pool, so an
+// append-doubling growth chain would be paid — allocation, copy, and write
+// barrier — once per broadcast, not amortized across reuses.
+func (nw *Network) getFanout(want int) *fanout {
 	if k := len(nw.freeFanouts); k > 0 {
 		f := nw.freeFanouts[k-1]
 		nw.freeFanouts = nw.freeFanouts[:k-1]
+		if cap(f.key32) < want {
+			f.key32 = make([]uint32, 0, want)
+		}
 		return f
 	}
-	return &fanout{nw: nw}
+	return &fanout{nw: nw, key32: make([]uint32, 0, want)}
 }
 
 // New returns a network connecting processes 0 … n-1.
@@ -242,6 +363,7 @@ func New(n int, opts ...Option) (*Network, error) {
 		for i := range nw.vboxes {
 			nw.vboxes[i] = mailbox.NewVirtual[Message]()
 		}
+		nw.closedBox = make([]uint64, (n+63)/64)
 		return nw, nil
 	}
 	nw.boxes = make([]*mailbox.Mailbox[Message], n)
@@ -272,19 +394,31 @@ func (nw *Network) Bind(p model.ProcID, proc *vclock.Proc) {
 // N returns the number of connected processes.
 func (nw *Network) N() int { return nw.n }
 
-// delayFor draws the transit delay of m under the configured policy.
+// delayFor draws the transit delay of m under the configured policy. In
+// virtual-time mode the scheduler's execution token already serializes all
+// network calls, so the RNG needs no lock — the hot exchange path draws one
+// delay per recipient and the mutex round-trip is measurable at n ≥ 1024.
 func (nw *Network) delayFor(m Message) time.Duration {
 	var d time.Duration
 	if !nw.closed.Load() {
+		lock := nw.opts.sched == nil
 		switch {
 		case nw.opts.timedFn != nil:
-			nw.rngMu.Lock()
+			if lock {
+				nw.rngMu.Lock()
+			}
 			d = nw.opts.timedFn(nw.now(), nw.rng, m)
-			nw.rngMu.Unlock()
+			if lock {
+				nw.rngMu.Unlock()
+			}
 		case nw.opts.delayFn != nil:
-			nw.rngMu.Lock()
+			if lock {
+				nw.rngMu.Lock()
+			}
 			d = nw.opts.delayFn(nw.rng, m)
-			nw.rngMu.Unlock()
+			if lock {
+				nw.rngMu.Unlock()
+			}
 		}
 	}
 	if d < 0 {
@@ -349,26 +483,115 @@ func (nw *Network) sendFan(from model.ProcID, payload any, recipients []model.Pr
 		}
 		return
 	}
-	f := nw.getFanout()
-	f.from = from
-	f.payload = payload
-	now := vclock.Time(nw.opts.sched.Now())
-	for _, to := range recipients {
-		if int(to) < 0 || int(to) >= nw.n {
-			continue
+	if nw.n > maxPackFan {
+		// Recipient ids no longer fit the packed key; fall back to one
+		// pooled delivery event per message (same semantics, unbatched).
+		for _, to := range recipients {
+			if int(to) < 0 || int(to) >= nw.n {
+				continue
+			}
+			m := Message{From: from, To: to, Payload: payload}
+			d := nw.delayFor(m)
+			if nw.boxClosed(to) {
+				continue
+			}
+			ev := nw.getDelivery()
+			ev.box = nw.vboxes[to]
+			ev.msg = m
+			nw.opts.sched.AfterEvent(vclock.Time(d), ev)
 		}
-		d := nw.delayFor(Message{From: from, To: to, Payload: payload})
-		f.arr = append(f.arr, arrival{at: now + vclock.Time(d), to: to})
-	}
-	if len(f.arr) == 0 {
-		f.payload = nil
-		nw.freeFanouts = append(nw.freeFanouts, f)
 		return
 	}
-	// Stable: recipients sharing an arrival instant deliver in recipient
-	// order, the same deterministic tie-break the per-message path had.
-	slices.SortStableFunc(f.arr, func(a, b arrival) int { return cmp.Compare(a.at, b.at) })
-	nw.opts.sched.AtEvent(f.arr[0].at, f)
+	now := vclock.Time(nw.opts.sched.Now())
+	keys := nw.sortKeys[:0]
+	maxDelay := uint64(0)
+	if nw.opts.uniform && !nw.closed.Load() && vclock.Time(nw.opts.uniMin+nw.opts.uniSpan) < maxPackWait {
+		// Uniform-delay fast path: inline the WithUniformDelay draw — the
+		// identical RNG stream, minus a Message construction and closure
+		// call per recipient. The scheduler token serializes all network
+		// calls, so checking closed once for the whole fanout is exact.
+		min, span := nw.opts.uniMin, int64(nw.opts.uniSpan)
+		for _, to := range recipients {
+			if int(to) < 0 || int(to) >= nw.n {
+				continue
+			}
+			// The delay is drawn even for recipients that can no longer
+			// receive, so the RNG stream — and with it every later draw of
+			// the run — is independent of who has terminated.
+			d := min
+			if span > 0 {
+				d += time.Duration(nw.rng.Int64N(span + 1))
+			}
+			if d < 0 {
+				d = 0
+			}
+			if nw.boxClosed(to) {
+				continue
+			}
+			w := uint64(d)
+			if w > maxDelay {
+				maxDelay = w
+			}
+			keys = append(keys, w<<fanSeqBits|uint64(to))
+		}
+	} else {
+		for _, to := range recipients {
+			if int(to) < 0 || int(to) >= nw.n {
+				continue
+			}
+			// The delay is drawn even for recipients that can no longer
+			// receive, so the RNG stream — and with it every later draw of
+			// the run — is independent of who has terminated.
+			d := nw.delayFor(Message{From: from, To: to, Payload: payload})
+			if nw.boxClosed(to) {
+				// The box would drop the message at arrival anyway (Put on a
+				// closed inbox is a no-op); skipping the event here spares
+				// the scheduler the decision-storm tail, where every process
+				// rebroadcasts DECIDE to mostly-terminated peers.
+				continue
+			}
+			if vclock.Time(d) >= maxPackWait {
+				// A ≥13-virtual-day draw overflows the key's delay field:
+				// this one arrival rides its own delivery event.
+				ev := nw.getDelivery()
+				ev.box = nw.vboxes[to]
+				ev.msg = Message{From: from, To: to, Payload: payload}
+				nw.opts.sched.AfterEvent(vclock.Time(d), ev)
+				continue
+			}
+			w := uint64(d)
+			if w > maxDelay {
+				maxDelay = w
+			}
+			keys = append(keys, w<<fanSeqBits|uint64(to))
+		}
+	}
+	if len(keys) == 0 {
+		nw.sortKeys = keys
+		return
+	}
+	keys = radixSortU64(keys, &nw.sortAlt, maxDelay<<fanSeqBits, fanSeqBits)
+	first := now + vclock.Time(keys[0]>>fanSeqBits)
+	f := nw.getFanout(len(keys))
+	f.from = from
+	f.payload = payload
+	f.base = first
+	prev := keys[0] >> fanSeqBits
+	for _, k := range keys {
+		gap := (k >> fanSeqBits) - prev
+		if gap >= 1<<(32-fanSeqBits) {
+			// A consecutive-arrival gap too wide for the compressed form
+			// (> ~0.5 virtual ms): keep the sorted keys uncompressed.
+			f.key32 = f.key32[:0]
+			f.key64 = append([]uint64(nil), keys...)
+			f.base = now
+			break
+		}
+		prev = k >> fanSeqBits
+		f.key32 = append(f.key32, uint32(gap)<<fanSeqBits|uint32(k&(maxPackFan-1)))
+	}
+	nw.sortKeys = keys[:0]
+	nw.opts.sched.AtEvent(first, f)
 }
 
 // SendAll transmits payload from one process to every process (including
@@ -431,6 +654,25 @@ func (nw *Network) Receive(p model.ProcID, done <-chan struct{}) (Message, bool)
 	return m, ok
 }
 
+// ReceiveNow is the batched-drain receive of inline handler bodies
+// (virtual-time mode only): it returns the next queued message for p
+// without blocking or parking. ok = false means the inbox is currently
+// empty; closed additionally reports that no further message can ever
+// arrive (the inbox was closed and has drained) — the wait-free analogue
+// of Receive returning false. A handler invocation calls ReceiveNow until
+// ok is false, draining the whole ring inbox under a single execution-token
+// hold: one handler invocation per distinct arrival instant, instead of
+// one coroutine rendezvous per message. Deliveries are counted exactly
+// like Receive — at consumption — so both body forms report identical
+// MsgsDelivered.
+func (nw *Network) ReceiveNow(p model.ProcID) (m Message, ok, closed bool) {
+	m, ok, closed = nw.vboxes[p].TryGetOrClosed()
+	if ok && nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsDelivered(1)
+	}
+	return m, ok, closed
+}
+
 // TryReceive returns a pending message for p without blocking.
 func (nw *Network) TryReceive(p model.ProcID) (Message, bool) {
 	var m Message
@@ -460,9 +702,18 @@ func (nw *Network) Pending(p model.ProcID) int {
 func (nw *Network) CloseInbox(p model.ProcID) {
 	if nw.vboxes != nil {
 		nw.vboxes[p].Close()
+		nw.closedBox[p>>6] |= 1 << (uint(p) & 63)
 		return
 	}
 	nw.boxes[p].Close()
+}
+
+// boxClosed reports whether p's virtual inbox is closed, from the network's
+// bitmap rather than the mailbox itself: the send fan-out checks every
+// recipient, and reading one bool per mailbox struct touches n scattered
+// cache lines per broadcast where the bitmap needs n/512.
+func (nw *Network) boxClosed(to model.ProcID) bool {
+	return nw.closedBox[to>>6]&(1<<(uint(to)&63)) != 0
 }
 
 // Shutdown closes every inbox and waits for in-flight delayed deliveries to
@@ -470,8 +721,9 @@ func (nw *Network) CloseInbox(p model.ProcID) {
 func (nw *Network) Shutdown() {
 	nw.closed.Store(true)
 	if nw.vboxes != nil {
-		for _, b := range nw.vboxes {
+		for i, b := range nw.vboxes {
 			b.Close()
+			nw.closedBox[i>>6] |= 1 << (uint(i) & 63)
 		}
 		return
 	}

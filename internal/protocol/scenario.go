@@ -41,6 +41,12 @@ type Scenario struct {
 	// Engine selects the execution engine; the zero value is
 	// sim.EngineVirtual (deterministic: same Scenario, same Outcome).
 	Engine sim.Engine
+	// Body selects the process-body form for protocols offering both
+	// (currently hybrid and benor): sim.BodyAuto (the zero value) picks
+	// inline handlers under the virtual engine and coroutines otherwise;
+	// sim.BodyCoroutine forces the goroutine form for differential testing.
+	// Protocols without a handler port ignore it.
+	Body sim.BodyKind
 	// Seed pins all randomness of the run.
 	Seed int64
 	// Algorithm selects a variant for protocols offering several (see

@@ -1,0 +1,63 @@
+package vclock
+
+import "testing"
+
+// BenchmarkHandoffVsHandler isolates the cost the handler body form
+// removes: the channel rendezvous + goroutine context switch of every
+// coroutine Park/Wake cycle, versus a plain function invocation under the
+// scheduler's execution token. Both variants process the same number of
+// wake events through the same timer wheel; the delta per op is pure
+// body-form overhead.
+func BenchmarkHandoffVsHandler(b *testing.B) {
+	const wakes = 1024
+
+	b.Run("coroutine", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New()
+			n := 0
+			var p *Proc
+			p = s.Spawn("worker", func() {
+				for n < wakes {
+					if !p.Park() {
+						return
+					}
+					n++
+				}
+			})
+			for t := 1; t <= wakes; t++ {
+				s.At(Time(t), p.Wake)
+			}
+			out := s.Run()
+			if n != wakes || out.Aborted() {
+				b.Fatalf("wakes=%d outcome=%+v", n, out)
+			}
+		}
+	})
+
+	b.Run("handler", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			s := New()
+			n := 0
+			var p *Proc
+			p = s.SpawnHandler("worker", func(aborted bool) {
+				if aborted {
+					p.Finish()
+					return
+				}
+				n++
+				if n == wakes+1 { // initial invocation + one per wake
+					p.Finish()
+				}
+			})
+			for t := 1; t <= wakes; t++ {
+				s.At(Time(t), p.Wake)
+			}
+			out := s.Run()
+			if n != wakes+1 || out.Aborted() {
+				b.Fatalf("invocations=%d outcome=%+v", n, out)
+			}
+		}
+	})
+}

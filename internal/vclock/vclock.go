@@ -3,13 +3,27 @@
 // consensus runtimes.
 //
 // The scheduler owns a priority structure of timestamped events (ties broken
-// by schedule order) and a set of cooperatively stepped process coroutines.
-// Exactly one piece of code runs at any instant: either the scheduler's
-// event loop or a single process coroutine, with control handed off through
-// unbuffered channel rendezvous. Because every interleaving decision is
-// taken by the event queue — never by the Go runtime — a run is a pure
-// function of its inputs: same configuration, same event order, same
-// result, bit for bit.
+// by schedule order) and a set of cooperatively stepped processes. Exactly
+// one piece of code runs at any instant: either the scheduler's event loop
+// or a single process body. Because every interleaving decision is taken by
+// the event queue — never by the Go runtime — a run is a pure function of
+// its inputs: same configuration, same event order, same result, bit for
+// bit.
+//
+// Processes come in two body forms sharing one wake/park discipline:
+//
+//   - coroutines (Spawn): the body is a straight-line function on its own
+//     goroutine; every step costs two unbuffered-channel rendezvous through
+//     the execution token. Convenient for bodies that block mid-algorithm.
+//   - inline handlers (SpawnHandler): the body is a state machine invoked
+//     directly under the scheduler's execution token — zero rendezvous,
+//     zero goroutines. Each wake is one plain function call, which is what
+//     makes the Θ(n²) all-to-all exchange pattern affordable at large n
+//     (DESIGN.md §11).
+//
+// Both forms go through the same runnable FIFO, so wakes fire in the same
+// (at, seq)-driven order regardless of body form, and quiescence/abort
+// semantics are identical.
 //
 // # Tiered timer wheel
 //
@@ -175,23 +189,26 @@ type SchedulerStats struct {
 	MaxBucketDepth int64
 }
 
-// Coroutine states.
+// Process states (both body forms).
 const (
 	stateRunnable = iota // queued to run
 	stateRunning         // currently holding the execution token
-	stateParked          // suspended in Park, waiting for Wake
-	stateDone            // fn returned
+	stateParked          // suspended (in Park, or between handler invocations)
+	stateDone            // fn returned / Finish was called
 )
 
-// Proc is a cooperatively scheduled coroutine. All its methods must be
-// called from scheduler-controlled code: either from within a coroutine
-// (Park) or from event callbacks and other coroutines (Wake). The
-// single-token handoff makes every such call data-race free without locks.
+// Proc is a cooperatively scheduled process — a coroutine (Spawn) or an
+// inline handler (SpawnHandler). All its methods must be called from
+// scheduler-controlled code: from within a process body (Park, Finish) or
+// from event callbacks and other bodies (Wake). The single-token handoff
+// makes every such call data-race free without locks.
 type Proc struct {
-	s      *Scheduler
-	name   string
-	state  int
-	resume chan bool // scheduler → proc; false = run aborted
+	s       *Scheduler
+	name    string
+	state   int
+	resume  chan bool          // scheduler → proc; false = run aborted (coroutines only)
+	handler func(aborted bool) // inline body (handler procs only)
+	rewake  bool               // a Wake arrived during the handler's own invocation
 }
 
 // Name returns the coroutine's diagnostic name.
@@ -200,8 +217,12 @@ func (p *Proc) Name() string { return p.name }
 // Park suspends the calling coroutine until another party calls Wake (then
 // Park returns true) or the scheduler aborts the run (then false: the
 // coroutine must unwind promptly and not Park again). Calling Park from
-// outside the coroutine's own fn is a protocol violation.
+// outside the coroutine's own fn — in particular from a handler proc's
+// body, which has no goroutine to suspend — is a protocol violation.
 func (p *Proc) Park() bool {
+	if p.handler != nil {
+		panic("vclock: Park called on a handler proc")
+	}
 	s := p.s
 	if s.aborted {
 		return false
@@ -211,20 +232,45 @@ func (p *Proc) Park() bool {
 	return <-p.resume
 }
 
-// Wake makes a parked coroutine runnable again; it will resume, in FIFO
-// wake order, before any further event is processed. Waking a coroutine
-// that is not parked is a no-op (the wakeup is not lost: a consumer must
-// re-check its condition before parking, and only parks while holding the
-// execution token).
+// Wake makes a parked process runnable again; it will resume, in FIFO wake
+// order, before any further event is processed. Waking a coroutine that is
+// not parked is a no-op (the wakeup is not lost: a consumer must re-check
+// its condition before parking, and only parks while holding the execution
+// token). Waking a handler proc during its own invocation re-queues it for
+// one more invocation after the current one returns, so a handler that
+// somehow signals itself does not lose the wakeup either.
 func (p *Proc) Wake() {
-	if p.state == stateParked {
+	switch p.state {
+	case stateParked:
 		p.state = stateRunnable
 		p.s.pushRunnable(p)
+	case stateRunning:
+		if p.handler != nil {
+			p.rewake = true
+		}
 	}
 }
 
-// Done reports whether the coroutine's fn has returned.
+// Done reports whether the process has finished (its fn returned, or
+// Finish was called).
 func (p *Proc) Done() bool { return p.state == stateDone }
+
+// Finish marks a handler proc's execution complete: it will never be
+// invoked again, and the run can end without it. It must be called from
+// within the handler's own invocation (under the execution token), exactly
+// like a coroutine finishing by returning from its fn. Finish is
+// idempotent; calling it on a coroutine proc is a protocol violation (a
+// coroutine finishes by returning).
+func (p *Proc) Finish() {
+	if p.handler == nil {
+		panic("vclock: Finish called on a coroutine proc")
+	}
+	if p.state == stateDone {
+		return
+	}
+	p.state = stateDone
+	p.s.live--
+}
 
 // Outcome reports how a Run ended.
 type Outcome struct {
@@ -445,6 +491,32 @@ func (s *Scheduler) Spawn(name string, fn func()) *Proc {
 	return p
 }
 
+// SpawnHandler registers fn as a new inline handler process. Like a
+// coroutine it starts runnable (its first invocation runs with the other
+// initial steps, in spawn order) and thereafter is invoked once per Wake,
+// in the same FIFO wake order coroutines resume in — so a run mixing the
+// two body forms interleaves them identically to an all-coroutine run.
+//
+// Each invocation runs directly under the scheduler's execution token: no
+// goroutine, no channel rendezvous. The contract (DESIGN.md §11):
+//
+//   - fn must return instead of blocking — a handler has no goroutine to
+//     suspend, so Park (and anything built on it, e.g. blocking receives
+//     or Handle.Sleep) must not be called from fn;
+//   - returning without calling Finish parks the proc until the next Wake;
+//   - fn(aborted=true) means the run was aborted (quiescence, deadline, or
+//     step budget): the handler must record its blocked outcome and call
+//     Finish — the inline analogue of Park returning false.
+func (s *Scheduler) SpawnHandler(name string, fn func(aborted bool)) *Proc {
+	p := &Proc{s: s, name: name, handler: fn}
+	p.state = stateRunnable
+	s.procs = append(s.procs, p)
+	s.spawned++
+	s.live++
+	s.pushRunnable(p)
+	return p
+}
+
 // pushRunnable appends p to the FIFO run queue.
 func (s *Scheduler) pushRunnable(p *Proc) {
 	// Compact the consumed head when it dominates the backing array.
@@ -487,21 +559,88 @@ func (s *Scheduler) abort() {
 	}
 }
 
-// step hands the execution token to p and blocks until p parks or finishes.
+// step runs one wake of p: a handler proc is invoked inline; a coroutine
+// gets the execution token handed over and blocks the loop until it parks
+// or finishes.
 func (s *Scheduler) step(p *Proc) {
+	if p.handler != nil {
+		s.stepHandler(p)
+		return
+	}
 	p.state = stateRunning
 	p.resume <- !s.aborted
 	<-s.yield
 }
 
-// Run drives the event loop to completion: coroutines run (in FIFO wake
+// stepHandler invokes a handler proc under the execution token. A Wake
+// that arrived during the invocation itself (rewake) runs the handler
+// again immediately — the inline analogue of a woken coroutine re-checking
+// its condition before parking.
+func (s *Scheduler) stepHandler(p *Proc) {
+	for {
+		p.state = stateRunning
+		p.rewake = false
+		p.handler(s.aborted)
+		if p.state == stateDone {
+			return
+		}
+		if !p.rewake {
+			p.state = stateParked
+			return
+		}
+	}
+}
+
+// Release terminates every process the scheduler still owns, releasing the
+// goroutines Spawn started. It is the teardown path for schedulers whose
+// Run was never called (every spawned coroutine goroutine is still waiting
+// at its birth gate and would otherwise leak) and for Runs unwound by a
+// panicking event callback (parked coroutines would leak the same way);
+// Run invokes it on the way out, and callers that build a scheduler but
+// may abandon it should defer it themselves. After a completed Run it is a
+// no-op, as is calling it twice.
+//
+// Release must be called from the goroutine that owns the scheduler, never
+// from event callbacks or process bodies.
+func (s *Scheduler) Release() {
+	if s.live == 0 {
+		return // nothing unfinished — notably after every completed Run
+	}
+	s.aborted = true
+	// Index loop: an unwinding coroutine may legally Spawn, appending procs.
+	for i := 0; i < len(s.procs); i++ {
+		p := s.procs[i]
+		if p.state == stateDone {
+			continue
+		}
+		if p.handler != nil {
+			// Handler procs have no goroutine; just retire them.
+			p.state = stateDone
+			s.live--
+			continue
+		}
+		// The coroutine's goroutine is blocked in <-p.resume — at its birth
+		// gate or inside Park. Resume it with false so it unwinds; with
+		// s.aborted set, any further Park returns false without a
+		// rendezvous, so exactly one yield follows (from the goroutine's
+		// exit path).
+		p.resume <- false
+		<-s.yield
+	}
+}
+
+// Run drives the event loop to completion: processes run (in FIFO wake
 // order) until all are parked, then the earliest pending event fires,
-// advancing the virtual clock; repeat. Run returns once every coroutine has
+// advancing the virtual clock; repeat. Run returns once every process has
 // finished — normally, or after an abort (quiescence, deadline, or event
 // budget) unwound them.
 //
 // Run must be called exactly once per Scheduler.
 func (s *Scheduler) Run() Outcome {
+	// No-op on a completed run; on a panicking event callback it releases
+	// every coroutine goroutine (birth-gated or parked) instead of leaking
+	// them.
+	defer s.Release()
 	for {
 		if p := s.popRunnable(); p != nil {
 			s.step(p)
@@ -544,10 +683,11 @@ func (s *Scheduler) Run() Outcome {
 				s.abort()
 				continue
 			}
-			// Aborted with live coroutines but none runnable: a coroutine
-			// ignored Park() = false and parked again — a protocol bug in
+			// Aborted with live processes but none runnable: a coroutine
+			// ignored Park() = false and parked again, or a handler ignored
+			// its aborted invocation and did not Finish — a protocol bug in
 			// the caller. Waking it once more would loop forever.
-			panic(fmt.Sprintf("vclock: %d coroutine(s) parked after abort", s.live))
+			panic(fmt.Sprintf("vclock: %d process(es) parked after abort", s.live))
 		}
 		s.outcome.Now = s.now
 		s.outcome.Steps = s.steps
