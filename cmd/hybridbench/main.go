@@ -14,6 +14,7 @@
 package main
 
 import (
+	"cmp"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,6 +23,7 @@ import (
 	"reflect"
 	"runtime"
 	"runtime/pprof"
+	"slices"
 	"strings"
 	"time"
 
@@ -92,9 +94,13 @@ type jsonSearch struct {
 
 // jsonReport is the top-level -json document.
 type jsonReport struct {
-	Trials      int              `json:"trials"`
-	SeedBase    int64            `json:"seed_base"`
-	Engine      string           `json:"engine"`
+	Trials   int    `json:"trials"`
+	SeedBase int64  `json:"seed_base"`
+	Engine   string `json:"engine"`
+	// Workers is the expansion-pool width the snapshot was recorded at
+	// (-workers; 0 = all CPUs). Purely an axis label: the findings are
+	// identical at every width, only the throughput figures move.
+	Workers     int              `json:"workers,omitempty"`
 	Experiments []jsonExperiment `json:"experiments,omitempty"`
 	Search      *jsonSearch      `json:"search,omitempty"`
 }
@@ -109,15 +115,18 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridbench", flag.ContinueOnError)
 	var (
-		exps     = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
-		trials   = fs.Int("trials", 100, "trials per table cell")
-		seed     = fs.Int64("seed", 1, "seed base (experiments) / search seed (-search)")
-		timeout  = fs.Duration("timeout", 20*time.Second, "per-run timeout (realtime engine only)")
-		engine   = fs.String("engine", "virtual", "execution engine for hybrid trials: virtual or realtime")
-		parallel = fs.Int("parallel", 0, "worker pool size for independent trials/probes (0 = all CPUs)")
-		asJSON   = fs.Bool("json", false, "emit machine-readable output instead of tables")
+		exps      = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		trials    = fs.Int("trials", 100, "trials per table cell")
+		trialsMin = fs.Int("trials-min", 1, "repeat each experiment this many times and report the median-timed repetition (damps wall-clock noise in BENCH snapshots)")
+		seed      = fs.Int64("seed", 1, "seed base (experiments) / search seed (-search)")
+		timeout   = fs.Duration("timeout", 20*time.Second, "per-run timeout (realtime engine only)")
+		engine    = fs.String("engine", "virtual", "execution engine for hybrid trials: virtual or realtime")
+		parallel  = fs.Int("parallel", 0, "worker pool size for independent trials/probes (0 = all CPUs)")
+		workers   = fs.Int("workers", 0, "expansion-pool width inside each virtual run (0 = all CPUs; the Outcome is identical at every width)")
+		asJSON    = fs.Bool("json", false, "emit machine-readable output instead of tables")
 
-		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on >25% events/sec or allocs/run regression")
+		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on a regression beyond -tolerance")
+		tolerance    = fs.Float64("tolerance", 0.25, "-bench-compare: maximum tolerated fractional regression per axis (0.25 = fail below 75% of the old figure)")
 
 		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memprofile = fs.String("memprofile", "", "write a heap profile to this file when the run finishes")
@@ -171,7 +180,10 @@ func run(args []string, out io.Writer) error {
 		if len(files) != 2 {
 			return fmt.Errorf("-bench-compare wants exactly two snapshot files, got %d", len(files))
 		}
-		return runBenchCompare(files[0], files[1], out)
+		if *tolerance <= 0 || *tolerance >= 1 {
+			return fmt.Errorf("-tolerance %v out of range (0, 1)", *tolerance)
+		}
+		return runBenchCompare(files[0], files[1], *tolerance, out)
 	}
 
 	if *search {
@@ -202,15 +214,18 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	if *trialsMin < 1 {
+		return fmt.Errorf("-trials-min %d must be at least 1", *trialsMin)
+	}
 	opts := harness.Options{
 		Trials: *trials, SeedBase: *seed, Timeout: *timeout,
-		Engine: eng, Parallelism: *parallel,
+		Engine: eng, Parallelism: *parallel, Workers: *workers,
 	}
 
 	if *asJSON {
-		doc := jsonReport{Trials: opts.Trials, SeedBase: opts.SeedBase, Engine: eng.String()}
+		doc := jsonReport{Trials: opts.Trials, SeedBase: opts.SeedBase, Engine: eng.String(), Workers: *workers}
 		for _, id := range ids {
-			rep, m, err := runInstrumented(id, opts)
+			rep, m, err := runInstrumented(id, opts, *trialsMin)
 			if err != nil {
 				return err
 			}
@@ -239,7 +254,7 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "allforone experiment suite — %d trials per cell, seed base %d\n", *trials, *seed)
 	fmt.Fprintf(out, "reproducing: Raynal & Cao, ICDCS 2019 (see EXPERIMENTS.md)\n\n")
 	for _, id := range ids {
-		rep, m, err := runInstrumented(id, opts)
+		rep, m, err := runInstrumented(id, opts, *trialsMin)
 		if err != nil {
 			return err
 		}
@@ -265,23 +280,32 @@ type runMeasure struct {
 
 // runInstrumented executes one experiment wrapped in wall-clock and
 // allocation measurement (process-wide malloc counts: run experiments
-// sequentially, as this CLI does, for meaningful allocs/run).
-func runInstrumented(id string, opts harness.Options) (*harness.Report, runMeasure, error) {
-	var m0, m1 runtime.MemStats
-	runtime.ReadMemStats(&m0)
-	start := time.Now()
-	rep, err := harness.Run(id, opts)
-	secs := time.Since(start).Seconds()
-	runtime.ReadMemStats(&m1)
-	if err != nil {
-		return nil, runMeasure{}, fmt.Errorf("%s: %w", id, err)
+// sequentially, as this CLI does, for meaningful allocs/run). With k > 1 it
+// repeats the experiment and keeps the median-timed repetition (seconds and
+// mallocs from the same repetition, so allocs/run stays self-consistent) —
+// the findings and scheduler counters are deterministic across repetitions,
+// only the wall clock varies.
+func runInstrumented(id string, opts harness.Options, k int) (*harness.Report, runMeasure, error) {
+	var rep *harness.Report
+	measures := make([]runMeasure, 0, k)
+	for range k {
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		start := time.Now()
+		r, err := harness.Run(id, opts)
+		secs := time.Since(start).Seconds()
+		runtime.ReadMemStats(&m1)
+		if err != nil {
+			return nil, runMeasure{}, fmt.Errorf("%s: %w", id, err)
+		}
+		rep = r
+		measures = append(measures, runMeasure{seconds: secs, mallocs: m1.Mallocs - m0.Mallocs})
 	}
-	return rep, runMeasure{seconds: secs, mallocs: m1.Mallocs - m0.Mallocs}, nil
+	slices.SortFunc(measures, func(a, b runMeasure) int {
+		return cmp.Compare(a.seconds, b.seconds)
+	})
+	return rep, measures[len(measures)/2], nil
 }
-
-// maxRegression is the -bench-compare value gate: a comparable throughput
-// figure may not drop below 75% of the older snapshot's.
-const maxRegression = 0.75
 
 // loadSnapshot reads one BENCH_*.json document.
 func loadSnapshot(path string) (*jsonReport, error) {
@@ -297,13 +321,15 @@ func loadSnapshot(path string) (*jsonReport, error) {
 }
 
 // runBenchCompare renders the trend between two committed BENCH_*.json
-// snapshots and fails on a >25% regression — the value gate on top of the
-// schema gate. Per experiment present in both files it compares
-// events/sec when both snapshots carry it (the engine-throughput axis) and
-// falls back to wall seconds otherwise (older snapshots predate the
-// events/sec field). Comparing committed snapshots — not a live run — keeps
-// the gate independent of the CI machine's speed.
-func runBenchCompare(oldPath, newPath string, out io.Writer) error {
+// snapshots and fails on a regression beyond the tolerance (-tolerance,
+// default 25%) — the value gate on top of the schema gate. Per experiment
+// present in both files it compares events/sec when both snapshots carry it
+// (the engine-throughput axis) and falls back to wall seconds otherwise
+// (older snapshots predate the events/sec field). Comparing committed
+// snapshots — not a live run — keeps the gate independent of the CI
+// machine's speed.
+func runBenchCompare(oldPath, newPath string, tolerance float64, out io.Writer) error {
+	minRatio := 1 - tolerance
 	oldDoc, err := loadSnapshot(oldPath)
 	if err != nil {
 		return err
@@ -345,7 +371,7 @@ func runBenchCompare(oldPath, newPath string, out io.Writer) error {
 		ratio := newVal / oldVal
 		compared++
 		marker := ""
-		if ratio < maxRegression {
+		if ratio < minRatio {
 			marker = "  ← REGRESSION"
 			regressions = append(regressions, ne.ID)
 		}
@@ -356,7 +382,7 @@ func runBenchCompare(oldPath, newPath string, out io.Writer) error {
 		if oe.AllocsPerRun > 0 && ne.AllocsPerRun > 0 {
 			aRatio := oe.AllocsPerRun / ne.AllocsPerRun
 			aMarker := ""
-			if aRatio < maxRegression {
+			if aRatio < minRatio {
 				aMarker = "  ← REGRESSION"
 				regressions = append(regressions, ne.ID+"(allocs)")
 			}
@@ -386,9 +412,9 @@ func runBenchCompare(oldPath, newPath string, out io.Writer) error {
 			oldPath, newPath, strings.Join(removed, ", "))
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("throughput regressed >%.0f%% in: %s", 100*(1-maxRegression), strings.Join(regressions, ", "))
+		return fmt.Errorf("throughput regressed >%.0f%% in: %s", 100*tolerance, strings.Join(regressions, ", "))
 	}
-	fmt.Fprintf(out, "no regression beyond %.0f%% across %d comparable experiments\n", 100*(1-maxRegression), compared)
+	fmt.Fprintf(out, "no regression beyond %.0f%% across %d comparable experiments\n", 100*tolerance, compared)
 	return nil
 }
 

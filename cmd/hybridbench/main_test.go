@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -291,5 +292,73 @@ func TestBenchCompareWarnsOnTrialsMismatch(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "caution") {
 		t.Errorf("no trials-mismatch caution:\n%s", out.String())
+	}
+}
+
+// TestBenchCompareTolerance: the value-gate threshold is a flag — a drop
+// inside the default 25% fails under a tightened -tolerance, and values
+// outside (0, 1) are rejected.
+func TestBenchCompareTolerance(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	oldPath := writeSnapshot(t, dir, "old.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0, EventsPerSec: 1e6},
+	}})
+	newPath := writeSnapshot(t, dir, "new.json", jsonReport{Experiments: []jsonExperiment{
+		{ID: "E1", Seconds: 1.0, EventsPerSec: 0.8e6}, // -20%
+	}})
+	var out strings.Builder
+	if err := run([]string{"-bench-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("-20%% rejected at the default 25%% tolerance: %v", err)
+	}
+	out.Reset()
+	err := run([]string{"-bench-compare", "-tolerance", "0.1", oldPath, newPath}, &out)
+	if err == nil {
+		t.Fatalf("-20%% accepted at -tolerance 0.1:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "10%") {
+		t.Errorf("error does not carry the tolerance: %v", err)
+	}
+	for _, bad := range []string{"0", "1", "-0.5", "3"} {
+		if err := run([]string{"-bench-compare", "-tolerance", bad, oldPath, newPath}, &out); err == nil {
+			t.Errorf("-tolerance %s accepted", bad)
+		}
+	}
+}
+
+// TestRunTrialsMinAndWorkers: -trials-min repeats the experiment for a
+// median-timed record without changing the findings, -workers lands in the
+// JSON document as the snapshot's axis label, and a zero repeat count is
+// rejected.
+func TestRunTrialsMinAndWorkers(t *testing.T) {
+	t.Parallel()
+	var ref, out strings.Builder
+	if err := run([]string{"-exp", "E5", "-trials", "2", "-json"}, &ref); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if err := run([]string{"-exp", "E5", "-trials", "2", "-trials-min", "3", "-workers", "2", "-json"}, &out); err != nil {
+		t.Fatalf("run -trials-min 3 -workers 2: %v", err)
+	}
+	var refDoc, doc jsonReport
+	if err := json.Unmarshal([]byte(ref.String()), &refDoc); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal([]byte(out.String()), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Workers != 2 || refDoc.Workers != 0 {
+		t.Fatalf("workers axis = %d and %d, want 2 and 0", doc.Workers, refDoc.Workers)
+	}
+	if len(doc.Experiments) != 1 || len(refDoc.Experiments) != 1 {
+		t.Fatalf("experiments = %d and %d, want 1 each", len(doc.Experiments), len(refDoc.Experiments))
+	}
+	// The findings are deterministic: repetition and pool width change only
+	// the wall-clock figures.
+	if !reflect.DeepEqual(doc.Experiments[0].Findings, refDoc.Experiments[0].Findings) {
+		t.Fatalf("findings diverged across -trials-min/-workers:\n  ref: %v\n  got: %v",
+			refDoc.Experiments[0].Findings, doc.Experiments[0].Findings)
+	}
+	if err := run([]string{"-exp", "E5", "-trials-min", "0"}, &out); err == nil {
+		t.Fatal("-trials-min 0 accepted")
 	}
 }

@@ -104,6 +104,10 @@ type Config struct {
 	// (e.g. a rigged coin that never matches). Zero means DefaultMaxSteps;
 	// negative means unbounded.
 	MaxSteps int64
+	// Workers sets the virtual engine expansion-pool width
+	// (driver.Config.Workers): pure mechanism, bit-identical results at
+	// every setting; 0 = one worker per CPU.
+	Workers int
 	// MinDelay/MaxDelay bound the uniform random message transit time.
 	// A zero MaxDelay means immediate delivery (under the realtime engine
 	// asynchrony still arises from goroutine scheduling; under the virtual
@@ -321,6 +325,7 @@ func Run(cfg Config) (*Result, error) {
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
 		Crashes:        cfg.Crashes,
 	}
 	var out driver.Outcome

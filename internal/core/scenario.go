@@ -65,6 +65,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Timeout:        sc.Bounds.Timeout,
 		MaxVirtualTime: sc.Bounds.MaxVirtualTime,
 		MaxSteps:       sc.Bounds.MaxSteps,
+		Workers:        sc.Workers,
 		Trace:          sc.Trace,
 		NetOptions:     netOpts,
 	})

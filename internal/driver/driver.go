@@ -28,6 +28,7 @@ package driver
 import (
 	"errors"
 	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -76,8 +77,19 @@ type Config struct {
 	MaxVirtualTime time.Duration
 	// MaxSteps bounds the number of scheduler events of an EngineVirtual
 	// run — the deterministic guard against executions that never converge.
-	// Zero means sim.DefaultMaxSteps; negative means unbounded.
+	// Zero derives the bound from the topology size
+	// (sim.DefaultMaxStepsFor: the flat floor below, growing ~Θ(n²) so
+	// legitimate large-n runs fit); negative means unbounded. Explicit
+	// positive values are authoritative.
 	MaxSteps int64
+	// Workers is the virtual engine's expansion-pool width: how many
+	// threads expand broadcast fanouts inside one run (sharded timer
+	// wheels, vclock.WithShards). It is pure mechanism — the observable
+	// run (schedule, trace, steps, Outcome) is bit-identical at every
+	// setting; only wall-clock time changes. Zero or negative means
+	// runtime.NumCPU(). Small topologies (and protocols without a
+	// network) run unsharded regardless. The realtime engine ignores it.
+	Workers int
 	// Crashes supplies the timed (virtual-instant) part of the failure
 	// pattern: at each instant the victim's Killed flag is raised and its
 	// inbox closed, so it halts at its next step point. Step-point crashes
@@ -308,7 +320,7 @@ func RunHandlers(cfg Config, n int, newNet NewNetFunc, mk HandlerBody) (Outcome,
 	if err := cfg.Crashes.ValidateFor(n); err != nil {
 		return Outcome{}, fmt.Errorf("%w: %v", ErrBadCrashes, err)
 	}
-	clock := newVirtualClock(cfg)
+	clock := newVirtualClock(cfg, n)
 	var nw *netsim.Network
 	if newNet != nil {
 		var err error
@@ -343,18 +355,37 @@ func RunHandlers(cfg Config, n int, newNet NewNetFunc, mk HandlerBody) (Outcome,
 	return virtualOutcome(out), nil
 }
 
-// newVirtualClock builds a run's scheduler from the config's bounds.
-func newVirtualClock(cfg Config) *vclock.Scheduler {
-	maxSteps := cfg.MaxSteps
-	if maxSteps == 0 {
-		maxSteps = sim.DefaultMaxSteps
-	} else if maxSteps < 0 {
-		maxSteps = 0 // vclock: 0 = unbounded
-	}
+// newVirtualClock builds a run's scheduler from the config's bounds and
+// the topology size n, which decides both the default step budget and
+// whether the timer wheel shards (vclock.ShardsFor).
+func newVirtualClock(cfg Config, n int) *vclock.Scheduler {
 	return vclock.New(
 		vclock.WithDeadline(vclock.Time(cfg.MaxVirtualTime)),
-		vclock.WithMaxSteps(maxSteps),
+		vclock.WithMaxSteps(resolveMaxSteps(cfg.MaxSteps, n)),
+		vclock.WithShards(vclock.ShardsFor(n), resolveWorkers(cfg.Workers)),
 	)
+}
+
+// resolveMaxSteps maps the Config.MaxSteps convention onto the scheduler's:
+// zero derives the budget from the topology size, negative means unbounded
+// (vclock: 0), explicit positive values pass through.
+func resolveMaxSteps(maxSteps int64, n int) int64 {
+	if maxSteps == 0 {
+		return sim.DefaultMaxStepsFor(n)
+	}
+	if maxSteps < 0 {
+		return 0 // vclock: 0 = unbounded
+	}
+	return maxSteps
+}
+
+// resolveWorkers maps the Config.Workers convention onto the scheduler's:
+// zero or negative means one expansion worker per CPU.
+func resolveWorkers(w int) int {
+	if w <= 0 {
+		return runtime.NumCPU()
+	}
+	return w
 }
 
 // installTimedCrashes schedules the timed crash events: at each virtual
@@ -391,7 +422,7 @@ func virtualOutcome(out vclock.Outcome) Outcome {
 // same inputs, same Outcome. Blocked runs end at quiescence instead of a
 // wall-clock timeout.
 func runVirtual(cfg Config, n int, newNet NewNetFunc, body Body) (Outcome, error) {
-	clock := newVirtualClock(cfg)
+	clock := newVirtualClock(cfg, n)
 	var nw *netsim.Network
 	if newNet != nil {
 		var err error

@@ -2,6 +2,7 @@ package driver
 
 import (
 	"errors"
+	"runtime"
 	"testing"
 	"time"
 
@@ -278,5 +279,38 @@ func TestOversizedCrashScheduleRejected(t *testing.T) {
 		if !errors.Is(err, ErrBadCrashes) {
 			t.Errorf("engine %v: err = %v, want ErrBadCrashes", eng, err)
 		}
+	}
+}
+
+// TestResolveMaxSteps pins the Config.MaxSteps convention: zero derives the
+// budget from the topology (the regression PR 7 fixes: an n=8192 run used to
+// need an explicit MaxSteps), negative disables the bound, positive passes
+// through untouched.
+func TestResolveMaxSteps(t *testing.T) {
+	if got, want := resolveMaxSteps(0, 8192), sim.DefaultMaxStepsFor(8192); got != want {
+		t.Errorf("resolveMaxSteps(0, 8192) = %d, want %d", got, want)
+	}
+	if got := resolveMaxSteps(0, 7); got != sim.DefaultMaxSteps {
+		t.Errorf("resolveMaxSteps(0, 7) = %d, want the floor %d", got, int64(sim.DefaultMaxSteps))
+	}
+	if got := resolveMaxSteps(-1, 1024); got != 0 {
+		t.Errorf("resolveMaxSteps(-1, 1024) = %d, want 0 (unbounded)", got)
+	}
+	if got := resolveMaxSteps(12345, 8192); got != 12345 {
+		t.Errorf("resolveMaxSteps(12345, 8192) = %d, want the explicit value back", got)
+	}
+}
+
+// TestResolveWorkers pins the Config.Workers convention: non-positive means
+// one expansion worker per CPU.
+func TestResolveWorkers(t *testing.T) {
+	if got := resolveWorkers(0); got != runtime.NumCPU() {
+		t.Errorf("resolveWorkers(0) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := resolveWorkers(-3); got != runtime.NumCPU() {
+		t.Errorf("resolveWorkers(-3) = %d, want NumCPU %d", got, runtime.NumCPU())
+	}
+	if got := resolveWorkers(5); got != 5 {
+		t.Errorf("resolveWorkers(5) = %d, want 5", got)
 	}
 }

@@ -144,6 +144,7 @@ func E2MajorityCrash(opts Options) (*Report, error) {
 			Workload: protocol.Workload{Binary: proposalsFor("unanimous1", n, nil)},
 			Seed:     opts.SeedBase + int64(trial),
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Faults:   sched,
 			Bounds:   protocol.Bounds{Timeout: blockedTimeout},
 		}
@@ -287,6 +288,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 			Workload:  protocol.Workload{Binary: proposalsFor("unanimous1", pc.p.N(), nil)},
 			Algorithm: core.AlgoLocalCoin,
 			Engine:    opts.Engine,
+			Workers:   opts.Workers,
 			Seed:      opts.SeedBase + 17,
 			Bounds:    protocol.Bounds{MaxRounds: 10, Timeout: opts.Timeout},
 		})
@@ -333,6 +335,7 @@ func E5ObjectInvocations(opts Options) (*Report, error) {
 			Workload: protocol.Workload{Binary: proposalsFor("unanimous1", gc.g.N(), nil)},
 			Seed:     opts.SeedBase + 23,
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Bounds:   protocol.Bounds{MaxRounds: 10, Timeout: opts.Timeout},
 		})
 		if err != nil {
@@ -445,6 +448,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 			Topology: protocol.Topology{N: n},
 			Workload: protocol.Workload{Binary: proposalsFor("split", n, nil)},
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 		})
 		if err != nil {
 			return nil, err
@@ -478,6 +482,7 @@ func E7ExtremeConfigs(opts Options) (*Report, error) {
 			Topology: protocol.Topology{N: n},
 			Workload: protocol.Workload{Binary: proposalsFor("split", n, rng)},
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Seed:     opts.SeedBase + int64(trial)*31,
 			Bounds:   protocol.Bounds{MaxRounds: 10_000, Timeout: opts.Timeout},
 		})
@@ -547,6 +552,7 @@ func E8Indulgence(opts Options) (*Report, error) {
 					Workload:  protocol.Workload{Binary: props},
 					Algorithm: algoName(algo),
 					Engine:    opts.Engine,
+					Workers:   opts.Workers,
 					Seed:      opts.SeedBase + int64(trial)*53,
 					Faults:    sched,
 					Bounds:    protocol.Bounds{Timeout: blockedTimeout},

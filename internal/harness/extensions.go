@@ -48,6 +48,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			Workload: protocol.Workload{Values: props},
 			Seed:     opts.SeedBase + int64(trial)*379,
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Faults:   sched,
 			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})
@@ -99,6 +100,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			Workload: protocol.Workload{Scripts: scripts},
 			Seed:     opts.SeedBase + int64(trial)*631,
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Faults:   sched,
 			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})
@@ -136,6 +138,7 @@ func E9ExtensionStack(opts Options) (*Report, error) {
 			Workload: protocol.Workload{Commands: cmds, Slots: slots},
 			Seed:     opts.SeedBase + int64(trial)*881,
 			Engine:   opts.Engine,
+			Workers:  opts.Workers,
 			Faults:   sched,
 			Bounds:   protocol.Bounds{Timeout: opts.Timeout},
 		})

@@ -49,6 +49,10 @@ type Options struct {
 	// through internal/driver. The zero value is core.EngineVirtual
 	// (deterministic, no wall-clock time).
 	Engine core.Engine
+	// Workers is each run's internal expansion-pool width
+	// (driver.Config.Workers) -- distinct from Parallelism, which is the
+	// pool of independent trials. 0 = one worker per CPU.
+	Workers int
 	// Parallelism caps the worker pool that executes independent trials
 	// concurrently; 0 means one worker per available CPU under the virtual
 	// engine. Virtual runs are deterministic, so aggregation (in trial
@@ -205,6 +209,7 @@ func runHybridTrials(part *model.Partition, algo core.Algorithm, mode string, op
 			Workload:  protocol.Workload{Binary: proposalsFor(mode, part.N(), rng)},
 			Algorithm: algoName(algo),
 			Engine:    opts.Engine,
+			Workers:   opts.Workers,
 			Seed:      opts.SeedBase + int64(trial)*1_000_003,
 			Bounds:    protocol.Bounds{MaxRounds: 10_000, Timeout: opts.Timeout},
 		}

@@ -55,6 +55,10 @@ type Config struct {
 	// MaxSteps bounds the number of discrete events of an EngineVirtual
 	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
 	MaxSteps int64
+	// Workers sets the virtual engine expansion-pool width
+	// (driver.Config.Workers): pure mechanism, bit-identical results at
+	// every setting; 0 = one worker per CPU.
+	Workers int
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
 	// NetOptions appends extra network options (e.g. a compiled
@@ -292,6 +296,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
 		Crashes:        cfg.Crashes,
 	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0xc2b2_ae3d_27d4_eb4f, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {

@@ -53,6 +53,10 @@ type Config struct {
 	// MaxSteps bounds the number of discrete events of an EngineVirtual
 	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
 	MaxSteps int64
+	// Workers sets the virtual engine expansion-pool width
+	// (driver.Config.Workers): pure mechanism, bit-identical results at
+	// every setting; 0 = one worker per CPU.
+	Workers int
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
 	// NetOptions appends extra network options (e.g. a compiled
@@ -265,6 +269,7 @@ func Run(cfg Config) (*sim.Result, error) {
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
 		Crashes:        cfg.Crashes,
 	}, cfg.N, driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x27d4_eb2f_1656_67c5, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {

@@ -76,6 +76,10 @@ type Config struct {
 	// MaxSteps bounds the number of discrete events of an EngineVirtual
 	// run; zero means sim.DefaultMaxSteps, negative means unbounded.
 	MaxSteps int64
+	// Workers sets the virtual engine expansion-pool width
+	// (driver.Config.Workers): pure mechanism, bit-identical results at
+	// every setting; 0 = one worker per CPU.
+	Workers int
 	// MinDelay/MaxDelay bound uniform random message transit time.
 	MinDelay, MaxDelay time.Duration
 	// NetOptions appends extra network options (e.g. a compiled
@@ -475,6 +479,7 @@ func Run(cfg Config) (*Result, error) {
 		Timeout:        cfg.Timeout,
 		MaxVirtualTime: cfg.MaxVirtualTime,
 		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
 		Crashes:        cfg.Crashes,
 	}, n, driver.StandardNet(&nw, n, uint64(cfg.Seed)^0x60be_e2be_e120_fc15, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...),
 		func(i int, h *driver.Handle) {

@@ -150,6 +150,13 @@ type Network struct {
 	sortKeys       []uint64       // packed-key build/sort scratch (sendFan)
 	sortAlt        []uint64       // radix-sort ping-pong scratch (sendFan)
 	closedBox      []uint64       // closed-inbox bitmap, mirrors vboxes[i].Closed()
+
+	// Sharded expansion state (fanshard.go); nil unless the scheduler is
+	// sharded and a delay policy makes expansion worth fanning out.
+	shards      []sendShard
+	seqPerShard uint64    // sequence-block stride per shard (vclock.SubmitJob)
+	freeJobs    []*fanJob // pooled expansion jobs (token-owned)
+	liveJobs    []*fanJob // jobs submitted, recycled when the pool drains
 }
 
 // delivery is a pooled single-message delivery event (virtual mode): the
@@ -198,6 +205,7 @@ type fanout struct {
 	key32   []uint32    // (gap<<fanSeqBits)|recipient; gap relative to the previous entry
 	key64   []uint64    // fallback: (delay<<fanSeqBits)|recipient, delay relative to base
 	next    int         // index of the next entry to deliver
+	shard   int32       // owning shard pool, -1 for the network-global pool
 }
 
 // Packed-key bounds: recipient ids need fanSeqBits, leaving 50 bits of
@@ -270,7 +278,7 @@ func (f *fanout) Fire() {
 		if f.next < len(f.key32) {
 			if gap := f.key32[f.next] >> fanSeqBits; gap != 0 {
 				f.base += vclock.Time(gap)
-				f.nw.opts.sched.AtEvent(f.base, f)
+				f.reschedule(f.base)
 				return
 			}
 			continue
@@ -293,7 +301,7 @@ func (f *fanout) fire64() {
 		if f.next < len(f.key64) {
 			k = f.key64[f.next]
 			if k>>fanSeqBits != due {
-				f.nw.opts.sched.AtEvent(f.base+vclock.Time(k>>fanSeqBits), f)
+				f.reschedule(f.base + vclock.Time(k>>fanSeqBits))
 				return
 			}
 			continue
@@ -303,12 +311,34 @@ func (f *fanout) fire64() {
 	f.release()
 }
 
-// release returns the exhausted fanout to the pool.
+// reschedule re-arms the fanout for its next arrival instant. A shard
+// fanout lives on its shard's wheel — one reschedule per distinct arrival
+// instant per in-flight broadcast is exactly the churn the shard wheels
+// exist to absorb; routing it through the main wheel would multiply that
+// wheel's bucket depth by the shard count. The (at, seq) total order is
+// identical either way.
+func (f *fanout) reschedule(at vclock.Time) {
+	if f.shard >= 0 {
+		f.nw.opts.sched.AtEventShard(int(f.shard), at, f)
+		return
+	}
+	f.nw.opts.sched.AtEvent(at, f)
+}
+
+// release returns the exhausted fanout to its pool: the owning shard's
+// recycled list (merged back into the worker-side freelist when the
+// expansion pool is idle) or the network-global freelist. It runs under
+// the execution token, like every Fire.
 func (f *fanout) release() {
 	f.payload = nil
 	f.key32 = f.key32[:0]
 	f.key64 = nil
 	f.next = 0
+	if f.shard >= 0 {
+		sh := &f.nw.shards[f.shard]
+		sh.recycled = append(sh.recycled, f)
+		return
+	}
 	f.nw.freeFanouts = append(f.nw.freeFanouts, f)
 }
 
@@ -336,7 +366,7 @@ func (nw *Network) getFanout(want int) *fanout {
 		}
 		return f
 	}
-	return &fanout{nw: nw, key32: make([]uint32, 0, want)}
+	return &fanout{nw: nw, shard: -1, key32: make([]uint32, 0, want)}
 }
 
 // New returns a network connecting processes 0 … n-1.
@@ -364,6 +394,15 @@ func New(n int, opts ...Option) (*Network, error) {
 			nw.vboxes[i] = mailbox.NewVirtual[Message]()
 		}
 		nw.closedBox = make([]uint64, (n+63)/64)
+		if sc := o.sched.ShardCount(); sc > 0 && n <= maxPackFan &&
+			(o.uniform || o.delayFn != nil || o.timedFn != nil) {
+			// The scheduler is sharded and broadcasts have per-recipient
+			// delay work worth fanning out: engage the sharded SendAll path
+			// (fanshard.go). The predicate reads only topology size and the
+			// configured policy, so engagement — like everything downstream
+			// of it — is independent of the worker count.
+			nw.initShards(sc)
+		}
 		return nw, nil
 	}
 	nw.boxes = make([]*mailbox.Mailbox[Message], n)
@@ -604,6 +643,10 @@ func (nw *Network) sendFan(from model.ProcID, payload any, recipients []model.Pr
 func (nw *Network) SendAll(from model.ProcID, payload any) {
 	if nw.opts.counters != nil {
 		nw.opts.counters.AddMsgsSent(int64(nw.n))
+	}
+	if nw.shards != nil {
+		nw.submitFanAll(from, payload)
+		return
 	}
 	nw.sendFan(from, payload, nw.everyone)
 }

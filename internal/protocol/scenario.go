@@ -49,6 +49,11 @@ type Scenario struct {
 	Body sim.BodyKind
 	// Seed pins all randomness of the run.
 	Seed int64
+	// Workers is the virtual engine's expansion-pool width — how many
+	// threads expand broadcast fanouts inside one run (driver.Config).
+	// Pure mechanism: the Outcome is bit-identical at every setting; only
+	// wall-clock time changes. 0 = one worker per CPU.
+	Workers int
 	// Algorithm selects a variant for protocols offering several (see
 	// Info.Algorithms); empty picks the protocol's default.
 	Algorithm string

@@ -48,6 +48,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Timeout:        sc.Bounds.Timeout,
 		MaxVirtualTime: sc.Bounds.MaxVirtualTime,
 		MaxSteps:       sc.Bounds.MaxSteps,
+		Workers:        sc.Workers,
 		NetOptions:     netOpts,
 	})
 	if err != nil {

@@ -62,8 +62,25 @@ func ParseEngine(name string) (Engine, error) {
 
 // DefaultMaxSteps bounds virtual-engine runs that never converge: a run
 // processing this many discrete events without terminating is aborted
-// deterministically (undecided processes end as StatusBlocked).
+// deterministically (undecided processes end as StatusBlocked). It is the
+// floor of the topology-aware default, DefaultMaxStepsFor.
 const DefaultMaxSteps = 8 << 20
+
+// DefaultMaxStepsFor is the default step budget of an n-process
+// virtual-engine run. All-to-all exchanges cost Θ(n²) events per round, so
+// a flat constant that is generous at n=64 silently truncates legitimate
+// n=8192 runs; 24·n² covers the protocols in this repository with an
+// order-of-magnitude margin (the full-coin hybrid run measures ~3.1·n²
+// events at n=1024), while DefaultMaxSteps stays the floor so small-n runs
+// keep the historical bound. Non-positive n (protocols that never report a
+// topology) gets the floor.
+func DefaultMaxStepsFor(n int) int64 {
+	q := 24 * int64(n) * int64(n)
+	if n <= 0 || q < DefaultMaxSteps {
+		return DefaultMaxSteps
+	}
+	return q
+}
 
 // Status classifies how a process's propose() invocation ended.
 type Status int8

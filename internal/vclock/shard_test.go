@@ -1,0 +1,215 @@
+package vclock
+
+// Sharded-scheduler unit tests: the expansion pool and the merged pop path
+// in isolation from netsim — a synthetic ShardJob staging events with
+// known (at, seq) keys, checked for global pop order, lookahead-overlap
+// correctness, worker-count independence of the schedule AND of the
+// stats, and pool teardown on every exit path.
+
+import (
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// recJob is a synthetic expansion job: shard s stages `perShard` events at
+// instants base+s·step+k·stride, recording fires into the shared log (the
+// log append runs under the token — Fire — so no synchronization needed).
+type recJob struct {
+	s        *Scheduler
+	log      *[]pop
+	at       Time // submit instant
+	base     Time // earliest arrival offset from at
+	step     Time
+	stride   Time
+	perShard int
+}
+
+type pop struct {
+	at    Time
+	shard int
+	k     int
+}
+
+func (j *recJob) ExpandShard(shard int, seqBase uint64, ins *ShardInserter) {
+	for k := 0; k < j.perShard; k++ {
+		at := j.at + j.base + Time(shard)*j.step + Time(k)*j.stride
+		shard, k := shard, k
+		ins.At(at, seqBase+uint64(k), eventFunc(func() {
+			*j.log = append(*j.log, pop{at: j.s.Now(), shard: shard, k: k})
+		}))
+	}
+}
+
+// runShardMatrix runs one synthetic schedule at the given worker count and
+// returns the fire log and outcome. The schedule submits jobs at
+// t=0 and t=40µs with interleaved main-wheel events, exercising both the
+// flush-on-demand path (main event past the lookahead bound) and the
+// drain-before-flush path (main events below it).
+func runShardMatrix(t *testing.T, workers int) ([]pop, Outcome) {
+	t.Helper()
+	s := New(WithShards(4, workers))
+	defer s.Release()
+	var log []pop
+	// Pure-event scheduler (no processes): Run drains the wheels
+	// completely, so nothing is cut short by the last coroutine finishing.
+	j1 := &recJob{s: s, log: &log, base: 10 * Time(time.Microsecond), step: 7, stride: 3, perShard: 5}
+	j2 := &recJob{s: s, log: &log, base: 5 * Time(time.Microsecond), step: 11, stride: 2, perShard: 4}
+	s.SubmitJob(j1, j1.base, 16)
+	// Below the lookahead bound: poppable while the job is outstanding.
+	s.At(2*Time(time.Microsecond), func() {
+		log = append(log, pop{at: s.Now(), shard: -1})
+	})
+	// Past it: forces a flush first.
+	s.At(20*Time(time.Microsecond), func() {
+		log = append(log, pop{at: s.Now(), shard: -2})
+	})
+	s.At(40*Time(time.Microsecond), func() {
+		j2.at = s.Now()
+		s.SubmitJob(j2, j2.at+j2.base, 16)
+	})
+	return log, s.Run()
+}
+
+// TestShardPopOrderAndWorkerIndependence checks the tentpole contract at
+// the scheduler level: the fire log (global pop order) and the Outcome —
+// including every stats counter — are identical at Workers ∈ {1, 2, 3, 4}
+// and the log is sorted by instant.
+func TestShardPopOrderAndWorkerIndependence(t *testing.T) {
+	refLog, refOut := runShardMatrix(t, 1)
+	if len(refLog) != 38 { // j1: 4×5, j2: 4×4, plus the 2 main events
+		t.Fatalf("log length %d, want 38", len(refLog))
+	}
+	if refOut.Stats.ExpandJobs != 2 || refOut.Stats.ShardEvents != 36 {
+		t.Fatalf("unexpected expansion stats: %+v", refOut.Stats)
+	}
+	if refOut.Stats.PoolFlushes == 0 {
+		t.Fatalf("no flushes recorded: %+v", refOut.Stats)
+	}
+	for i := 1; i < len(refLog); i++ {
+		if refLog[i].at < refLog[i-1].at {
+			t.Fatalf("pop order regressed at %d: %+v then %+v", i, refLog[i-1], refLog[i])
+		}
+	}
+	// The 2µs main event must have fired before the first staged event
+	// (the lookahead lets it pop without a flush); the 20µs one after the
+	// earliest staged arrivals.
+	if refLog[0].shard != -1 {
+		t.Fatalf("expected the sub-lookahead main event first, got %+v", refLog[0])
+	}
+	for _, w := range []int{2, 3, 4, runtime.NumCPU()} {
+		log, out := runShardMatrix(t, w)
+		if !reflect.DeepEqual(refLog, log) {
+			t.Fatalf("workers=%d: fire log diverged\n  ref: %+v\n  got: %+v", w, refLog, log)
+		}
+		if !reflect.DeepEqual(refOut, out) {
+			t.Fatalf("workers=%d: outcome diverged\n  ref: %+v\n  got: %+v", w, refOut, out)
+		}
+	}
+}
+
+// TestShardTieBreakAcrossWheels pins the merge's total order at equal
+// instants: ties between the main wheel and shard wheels — and between
+// shard wheels — resolve by the submit-time sequence block, i.e. schedule
+// order first, then shard order within one job.
+func TestShardTieBreakAcrossWheels(t *testing.T) {
+	at := 100 * Time(time.Microsecond)
+	s := New(WithShards(4, 2))
+	defer s.Release()
+	var combined []int
+	j := &recJobCombined{s: s, log: &combined, at: at}
+	// Main-wheel event at the same instant, scheduled BEFORE the job:
+	// its seq precedes the job's reserved block.
+	s.At(at, func() { combined = append(combined, -1) })
+	s.SubmitJob(j, at, 16)
+	// And one scheduled AFTER: its seq follows the block.
+	s.At(at, func() { combined = append(combined, -2) })
+	if out := s.Run(); out.Aborted() {
+		t.Fatalf("aborted: %+v", out)
+	}
+	want := []int{-1, 0, 1, 2, 3, -2}
+	if !reflect.DeepEqual(combined, want) {
+		t.Fatalf("tie-break order = %v, want %v (main-before-job, then shards in order, then main-after-job)", combined, want)
+	}
+}
+
+// recJobCombined stages one event per shard at the fixed instant `at`,
+// appending the shard id to a shared log at fire time.
+type recJobCombined struct {
+	s   *Scheduler
+	log *[]int
+	at  Time
+}
+
+func (j *recJobCombined) ExpandShard(shard int, seqBase uint64, ins *ShardInserter) {
+	ins.At(j.at, seqBase, eventFunc(func() { *j.log = append(*j.log, shard) }))
+}
+
+// TestSubmitJobUnshardedPanics pins the misuse guard.
+func TestSubmitJobUnshardedPanics(t *testing.T) {
+	s := New()
+	defer s.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("SubmitJob on an unsharded scheduler did not panic")
+		}
+	}()
+	s.SubmitJob(&recJobCombined{s: s}, 0, 1)
+}
+
+// TestShardedReleaseWithoutRunStopsPool is the pool analogue of
+// TestReleaseWithoutRunFreesGoroutines: a scheduler whose pool has spawned
+// (first SubmitJob) but whose Run is never called must join its workers on
+// Release — with jobs still outstanding.
+func TestShardedReleaseWithoutRunStopsPool(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 4; i++ {
+		s := New(WithShards(4, 4))
+		var log []int
+		s.Spawn("p", func() {})
+		s.SubmitJob(&recJobCombined{s: s, log: &log, at: 5}, 5, 16)
+		s.Release()
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		runtime.Gosched()
+		time.Sleep(time.Millisecond)
+	}
+	if g := runtime.NumGoroutine(); g > before {
+		t.Fatalf("goroutines leaked: %d before, %d after release", before, g)
+	}
+}
+
+// TestShardedDeadlineWithOutstandingJobs checks the abort path: a deadline
+// strictly below every staged arrival aborts the run without flushing the
+// outstanding job, and the staged events are dropped, not fired.
+func TestShardedDeadlineWithOutstandingJobs(t *testing.T) {
+	s := New(WithShards(4, 2), WithDeadline(10*Time(time.Microsecond)))
+	defer s.Release()
+	var log []int
+	fired := false
+	s.SubmitJob(&recJobCombined{s: s, log: &log, at: 50 * Time(time.Microsecond)}, 50*Time(time.Microsecond), 16)
+	s.At(20*Time(time.Microsecond), func() { fired = true })
+	out := s.Run()
+	if !out.DeadlineExceeded {
+		t.Fatalf("expected DeadlineExceeded, got %+v", out)
+	}
+	if fired || len(log) != 0 {
+		t.Fatalf("events past the deadline fired: main=%v shard=%v", fired, log)
+	}
+}
+
+// TestWithShardsZeroIsUnsharded pins the no-op contract of the option.
+func TestWithShardsZeroIsUnsharded(t *testing.T) {
+	s := New(WithShards(0, 8))
+	defer s.Release()
+	if s.ShardCount() != 0 || s.Workers() != 0 {
+		t.Fatalf("WithShards(0, 8) sharded the scheduler: shards=%d workers=%d", s.ShardCount(), s.Workers())
+	}
+	if ShardsFor(255) != 0 || ShardsFor(256) != 2 || ShardsFor(512) != 4 ||
+		ShardsFor(1024) != 8 || ShardsFor(2048) != NumShards || ShardsFor(100000) != NumShards {
+		t.Fatalf("ShardsFor tiering wrong: %d %d %d %d %d %d", ShardsFor(255), ShardsFor(256),
+			ShardsFor(512), ShardsFor(1024), ShardsFor(2048), ShardsFor(100000))
+	}
+}

@@ -45,6 +45,33 @@
 // to every replay and determinism contract. SchedulerStats counts events
 // scheduled, wheel cascades, and the deepest bucket observed.
 //
+// # Sharded wheels and the expansion pool
+//
+// Large topologies (WithShards; the driver engages it at n ≥ 256) split the
+// timer structure into the main wheel plus a fixed number of shard wheels,
+// and add a worker pool that expands broadcast fanouts — the Θ(n) delay
+// draws, key packing, and sorting behind one SendAll — off the execution
+// token (DESIGN.md §12). The contract that keeps runs bit-identical for
+// every worker count:
+//
+//   - work is partitioned by SHARD (a fixed function of the topology),
+//     never by worker: shard s always draws from its own RNG stream and
+//     always lands its events in shard wheel s, whichever worker ran it;
+//   - sequence numbers are reserved in a block at submit time, under the
+//     token, so every expanded event's (at, seq) key is fixed before any
+//     worker touches the job;
+//   - workers write only their shards' staging buffers; events enter the
+//     shard wheels at a flush point, under the token, after a WaitGroup
+//     join. Flush points are chosen by pure token-side logic (the lookahead
+//     rule in nextWheel), so even the scheduler's internal counters are
+//     independent of the worker count;
+//   - the pop path merges the main-wheel head with the shard-wheel heads
+//     under the same global (at, seq) order, and refuses to pop any event
+//     that an outstanding expansion job could still precede.
+//
+// Handler invocations, event Fires, and every observable side effect stay
+// under the single execution token; only schedule-side expansion fans out.
+//
 // Virtual time is measured in nanoseconds (Time is directly convertible
 // from time.Duration) but no real time ever passes: delivering a message
 // "4ms later" costs one bucket append. Runs therefore execute as fast as
@@ -64,11 +91,17 @@
 // every coroutine has finished.
 package vclock
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Time is a virtual instant, in nanoseconds since the start of the run.
 // It converts directly to and from time.Duration.
 type Time int64
+
+// maxTime is the sentinel "no bound" instant (jobsEarliest when idle).
+const maxTime = Time(1<<63 - 1)
 
 // Event is a schedulable callback. Implementations that are pointer-shaped
 // (pooled structs, funcs) ride the scheduler without a per-event
@@ -173,20 +206,170 @@ const (
 // slotOf returns the absolute wheel-slot index of a virtual instant.
 func slotOf(t Time) int64 { return int64(t) >> slotWidthShift }
 
+// Sharding geometry. The shard count is a fixed function of the topology —
+// NEVER of the worker count — so shard composition, per-shard RNG streams,
+// and per-shard counters are identical whether one thread or sixteen run
+// the expansion (the parallelism-independence clause, DESIGN.md §7/§12).
+const (
+	// NumShards caps the shard-wheel count of a sharded scheduler: enough
+	// stripes to saturate the worker pools of common CI hardware.
+	NumShards = 16
+	// shardMinProcs is the engagement floor: below it the per-broadcast
+	// fan-out is too small for staging/join overhead to pay off.
+	shardMinProcs = 256
+	// shardStripe is the minimum recipients per stripe. Every broadcast
+	// becomes one fanout event PER SHARD — each a live pooled object and a
+	// heap entry for its whole delivery window — so thin stripes buy no
+	// parallelism yet multiply scheduler churn; wide stripes keep the
+	// event count down until n is large enough to feed every core.
+	shardStripe = 128
+)
+
+// ShardsFor returns the shard count the driver should configure for an
+// n-process topology: 0 (unsharded) below the engagement floor, then the
+// largest power of two ≤ NumShards that keeps stripes ≥ shardStripe wide
+// (n=256 → 2, n=512 → 4, n=1024 → 8, n≥2048 → 16). Depending only on n
+// keeps the decision independent of the machine and of the Workers knob.
+func ShardsFor(n int) int {
+	if n < shardMinProcs {
+		return 0
+	}
+	c := 2
+	for c < NumShards && n >= 2*c*shardStripe {
+		c *= 2
+	}
+	return c
+}
+
 // SchedulerStats counts the scheduler's internal work — the observability
 // surface of the timer wheel. All counts are pure functions of the run's
-// inputs, so they replay bit-for-bit and may be compared across runs.
+// inputs — including the pool counters: flush points are decided by
+// token-side logic only — so they replay bit-for-bit, are identical at
+// every Workers setting, and may be compared across runs.
 type SchedulerStats struct {
 	// EventsScheduled is the total number of events handed to the
-	// scheduler (At/After/AtEvent/AfterEvent calls).
+	// scheduler (At/After/AtEvent/AfterEvent calls plus shard-expanded
+	// events).
 	EventsScheduled int64
-	// WheelCascades is the number of events migrated from the far-future
-	// overflow heap into the wheel as the horizon advanced. Each event
-	// cascades at most once.
+	// WheelCascades is the number of events migrated from a far-future
+	// overflow heap into its wheel as the horizon advanced (summed over
+	// the main and shard wheels). Each event cascades at most once.
 	WheelCascades int64
-	// MaxBucketDepth is the deepest wheel bucket observed (events sharing
-	// one slotWidth window of virtual time) — the k of the O(log k) pop.
+	// MaxBucketDepth is the deepest wheel bucket observed in any wheel
+	// (events sharing one slotWidth window of virtual time) — the k of the
+	// O(log k) pop.
 	MaxBucketDepth int64
+	// ShardEvents is the number of events inserted through the sharded
+	// expansion path (0 for unsharded runs).
+	ShardEvents int64
+	// ExpandJobs is the number of expansion jobs submitted (SubmitJob
+	// calls; one per sharded broadcast).
+	ExpandJobs int64
+	// PoolFlushes is the number of staging flushes — the joins where the
+	// token waited for outstanding expansion jobs before popping an event
+	// they could have preceded.
+	PoolFlushes int64
+}
+
+// wheel is one tiered timer structure: the near-future slot array with its
+// active min-heap bucket, plus the far-future overflow heap. The scheduler
+// owns one main wheel (all AtEvent traffic) and, when sharded, NumShards
+// shard wheels fed by the expansion pool. Each wheel carries its own work
+// counters so sharded totals merge without atomics.
+type wheel struct {
+	// Invariants between advances:
+	//   - active holds (as a min-heap) every pending event in slot curSlot;
+	//   - slots[s&wheelMask] holds the events of absolute slot s for
+	//     curSlot < s < curSlot+wheelSlots, unsorted;
+	//   - overflow holds (as a min-heap) events at or past the horizon —
+	//     plus, transiently, events whose slot entered the window since the
+	//     last advance; advance() drains those before choosing a bucket;
+	//   - wheelCount counts events in slots (excluding active/overflow).
+	active     []event
+	slots      [wheelSlots][]event
+	curSlot    int64
+	wheelCount int
+	overflow   []event
+
+	scheduled int64 // events inserted (maintained by the callers of insert)
+	cascades  int64
+	maxDepth  int64
+}
+
+// pending returns the number of undelivered events in this wheel.
+func (w *wheel) pending() int {
+	return len(w.active) + w.wheelCount + len(w.overflow)
+}
+
+// insert routes an event to its tier: the active bucket's heap, a wheel
+// bucket, or the far-future overflow heap.
+func (w *wheel) insert(ev event) {
+	slot := slotOf(ev.at)
+	switch {
+	case slot <= w.curSlot:
+		// The active bucket — including the defensive clamp for events
+		// scheduled by unwinding coroutines after an abort peeked ahead
+		// (such events are never popped: the run processes no more events).
+		pushEvent(&w.active, ev)
+		if d := int64(len(w.active)); d > w.maxDepth {
+			w.maxDepth = d
+		}
+	case slot < w.curSlot+wheelSlots:
+		b := &w.slots[slot&wheelMask]
+		*b = append(*b, ev)
+		w.wheelCount++
+		if d := int64(len(*b)); d > w.maxDepth {
+			w.maxDepth = d
+		}
+	default:
+		pushEvent(&w.overflow, ev)
+	}
+}
+
+// advance makes the earliest pending event poppable from the active heap.
+// It returns false when no event is pending. advance only repositions
+// events between tiers (preserving the (at, seq) total order); it never
+// fires one, so peeking is side-effect free with respect to the run.
+func (w *wheel) advance() bool {
+	for {
+		// Cascade overflow events whose slot has entered the window. They
+		// were beyond the horizon when scheduled; the horizon has moved.
+		for len(w.overflow) > 0 && slotOf(w.overflow[0].at) < w.curSlot+wheelSlots {
+			ev := popEvent(&w.overflow)
+			w.cascades++
+			w.insert(ev)
+		}
+		if len(w.active) > 0 {
+			return true
+		}
+		if w.wheelCount > 0 {
+			// Walk the window to the next non-empty bucket and activate it.
+			end := w.curSlot + wheelSlots
+			for sl := w.curSlot + 1; sl < end; sl++ {
+				b := &w.slots[sl&wheelMask]
+				if len(*b) == 0 {
+					continue
+				}
+				w.curSlot = sl
+				w.wheelCount -= len(*b)
+				w.active = append(w.active[:0], *b...)
+				*b = (*b)[:0]
+				heapify(w.active)
+				break
+			}
+			if len(w.active) == 0 {
+				panic("vclock: wheelCount > 0 but no bucket found in window")
+			}
+			// Re-enter the loop: the window moved, overflow may cascade.
+			continue
+		}
+		if len(w.overflow) == 0 {
+			return false
+		}
+		// Wheel empty: jump the window to the earliest far-future event and
+		// let the cascade at the top of the loop pull it (and its cohort) in.
+		w.curSlot = slotOf(w.overflow[0].at)
+	}
 }
 
 // Process states (both body forms).
@@ -286,35 +469,81 @@ type Outcome struct {
 	// StepsExceeded is set when the event budget ran out.
 	StepsExceeded bool
 	// Stats counts the scheduler's internal work (deterministic: same
-	// inputs, same counts).
+	// inputs, same counts — at every Workers setting).
 	Stats SchedulerStats
 }
 
 // Aborted reports whether the run was cut short for any reason.
 func (o Outcome) Aborted() bool { return o.Quiesced || o.DeadlineExceeded || o.StepsExceeded }
 
+// ShardJob is a unit of schedule-side work the expansion pool runs off the
+// execution token — in practice, one broadcast's delay draws, key packing,
+// and sorting (netsim). ExpandShard is called exactly once per shard per
+// job, always with the same shard→RNG-stream, shard→recipient-stripe
+// mapping and the same seqBase (the job's reserved sequence block,
+// SubmitJob), whichever worker runs it; it must stage the shard's
+// resulting events through ins and must not touch any scheduler or network
+// state shared with other shards. Everything it reads must have been
+// written before SubmitJob (the channel send / inline call publishes it).
+type ShardJob interface {
+	ExpandShard(shard int, seqBase uint64, ins *ShardInserter)
+}
+
+// shardTask pairs a submitted job with its reserved sequence base — the
+// base rides the dispatch channel rather than the job, because a worker
+// may pick the job up before SubmitJob returns to its caller.
+type shardTask struct {
+	job  ShardJob
+	base uint64
+}
+
+// ShardInserter stages one shard's expanded events until the token flushes
+// them into the shard wheel. It is owned by the worker running the shard's
+// jobs (or the token itself at Workers = 1) and must not be retained past
+// ExpandShard's return.
+type ShardInserter struct {
+	evs []event
+}
+
+// At stages ev to fire at instant at with the given sequence number, which
+// the caller must take from its job's reserved block (SubmitJob). at must
+// not precede the job's declared earliest instant.
+func (si *ShardInserter) At(at Time, seq uint64, ev Event) {
+	si.evs = append(si.evs, event{at: at, seq: seq, ev: ev})
+}
+
 // Scheduler is the discrete-event engine. It is NOT safe for concurrent
 // use from arbitrary goroutines: Spawn/At/After/Run must be called from the
 // goroutine that calls Run, from event callbacks, or from coroutines — all
-// of which are serialized by the execution token.
+// of which are serialized by the execution token. (The expansion pool's
+// workers are internal: they touch only per-shard staging state, never the
+// scheduler's.)
 type Scheduler struct {
 	now Time
 	seq uint64
 
-	// Tiered timer wheel. Invariants between advances:
-	//   - active holds (as a min-heap) every pending event in slot curSlot;
-	//   - slots[s&wheelMask] holds the events of absolute slot s for
-	//     curSlot < s < curSlot+wheelSlots, unsorted;
-	//   - overflow holds (as a min-heap) events at or past the horizon —
-	//     plus, transiently, events whose slot entered the window since the
-	//     last advance; advance() drains those before choosing a bucket;
-	//   - wheelCount counts events in slots (excluding active/overflow).
-	active     []event
-	slots      [wheelSlots][]event
-	curSlot    int64
-	wheelCount int
-	overflow   []event
-	stats      SchedulerStats
+	main   wheel
+	shards []wheel
+	// staged[s] is shard s's staging inserter: written by the worker that
+	// owns shard s (s mod workers) while jobs are outstanding, drained by
+	// the token at flush. The WaitGroup join orders the two.
+	staged    []ShardInserter
+	shardLive int // events currently pending in shard wheels
+
+	stats SchedulerStats // pool counters; wheel counters live on the wheels
+
+	// Expansion pool. jobsEarliest is the lower bound on the instant of any
+	// event an outstanding job may stage: the pop path may pop strictly
+	// earlier events without joining the pool (the lookahead rule).
+	workers      int
+	njobs        int
+	jobsEarliest Time
+	pendingJobs  []shardTask      // Workers = 1: jobs deferred to the flush point
+	jobsCh       []chan shardTask // Workers > 1: one channel per worker
+	jobWG        sync.WaitGroup   // outstanding (job × worker) completions
+	workerWG     sync.WaitGroup   // worker goroutine lifetimes
+	poolUp       bool             // workers spawned (lazily, at first SubmitJob)
+	poolDown     bool             // pool stopped (Release / end of Run)
 
 	procs    []*Proc
 	spawned  int
@@ -347,9 +576,33 @@ func WithMaxSteps(n int64) Option {
 	return func(s *Scheduler) { s.maxSteps = n }
 }
 
+// WithShards equips the scheduler with shards shard wheels and an
+// expansion pool of up to workers threads (capped at the shard count;
+// values below 1 mean 1 — fully serial, the same staging and flush
+// discipline run inline on the token). Zero shards keeps the scheduler
+// unsharded and makes the option a no-op. The observable run — schedule,
+// steps, outcome, stats — is bit-identical for every workers value; see
+// the package comment.
+func WithShards(shards, workers int) Option {
+	return func(s *Scheduler) {
+		if shards <= 0 {
+			return
+		}
+		if workers < 1 {
+			workers = 1
+		}
+		if workers > shards {
+			workers = shards
+		}
+		s.shards = make([]wheel, shards)
+		s.staged = make([]ShardInserter, shards)
+		s.workers = workers
+	}
+}
+
 // New returns an empty scheduler at virtual time zero.
 func New(opts ...Option) *Scheduler {
-	s := &Scheduler{yield: make(chan struct{})}
+	s := &Scheduler{yield: make(chan struct{}), jobsEarliest: maxTime}
 	for _, o := range opts {
 		o(s)
 	}
@@ -363,12 +616,42 @@ func (s *Scheduler) Now() Time { return s.now }
 // or event budget). Coroutines can poll it at convenient checkpoints.
 func (s *Scheduler) Aborted() bool { return s.aborted }
 
-// Stats returns the scheduler's work counters so far.
-func (s *Scheduler) Stats() SchedulerStats { return s.stats }
+// ShardCount returns the number of shard wheels (0 = unsharded).
+func (s *Scheduler) ShardCount() int { return len(s.shards) }
 
-// pending returns the number of undelivered events.
+// Workers returns the expansion pool's thread budget (0 = unsharded).
+func (s *Scheduler) Workers() int { return s.workers }
+
+// JobsOutstanding returns the number of expansion jobs submitted but not
+// yet flushed. Callers that pool resources shared with jobs (snapshot
+// buffers, freelists) may recycle them exactly when this is zero.
+func (s *Scheduler) JobsOutstanding() int { return s.njobs }
+
+// Stats returns the scheduler's work counters so far, merging the per-wheel
+// counters of the main and shard wheels. The merge is deterministic: each
+// wheel's counters are a pure function of the events routed to it, and the
+// shard routing is fixed by the topology.
+func (s *Scheduler) Stats() SchedulerStats {
+	st := s.stats
+	st.EventsScheduled += s.main.scheduled
+	st.WheelCascades += s.main.cascades
+	st.MaxBucketDepth = s.main.maxDepth
+	for i := range s.shards {
+		w := &s.shards[i]
+		st.EventsScheduled += w.scheduled
+		st.ShardEvents += w.scheduled
+		st.WheelCascades += w.cascades
+		if w.maxDepth > st.MaxBucketDepth {
+			st.MaxBucketDepth = w.maxDepth
+		}
+	}
+	return st
+}
+
+// pending returns the number of undelivered events (staged events of
+// outstanding jobs not included; see nextWheel for why that is safe).
 func (s *Scheduler) pending() int {
-	return len(s.active) + s.wheelCount + len(s.overflow)
+	return s.main.pending() + s.shardLive
 }
 
 // At schedules fn to run at virtual instant t (clamped to now: virtual time
@@ -387,8 +670,27 @@ func (s *Scheduler) AtEvent(t Time, ev Event) {
 		t = s.now
 	}
 	s.seq++
-	s.stats.EventsScheduled++
-	s.insert(event{at: t, seq: s.seq, ev: ev})
+	s.main.scheduled++
+	s.main.insert(event{at: t, seq: s.seq, ev: ev})
+}
+
+// AtEventShard schedules ev on shard wheel shard rather than the main
+// wheel. Semantically identical to AtEvent — the pop path merges every
+// wheel into one (at, seq) total order, and the seq still comes from the
+// global counter — but it keeps high-churn per-shard traffic (fanout
+// rescheduling, one live event per shard per in-flight broadcast) out of
+// the main wheel, whose bucket depth would otherwise grow with the shard
+// count. Must run under the execution token, like AtEvent; panics on an
+// unsharded scheduler or an out-of-range shard.
+func (s *Scheduler) AtEventShard(shard int, t Time, ev Event) {
+	if t < s.now {
+		t = s.now
+	}
+	s.seq++
+	w := &s.shards[shard]
+	w.scheduled++
+	w.insert(event{at: t, seq: s.seq, ev: ev})
+	s.shardLive++
 }
 
 // AfterEvent schedules ev to fire d nanoseconds of virtual time from now.
@@ -399,74 +701,165 @@ func (s *Scheduler) AfterEvent(d Time, ev Event) {
 	s.AtEvent(s.now+d, ev)
 }
 
-// insert routes an event to its tier: the active bucket's heap, a wheel
-// bucket, or the far-future overflow heap.
-func (s *Scheduler) insert(ev event) {
-	slot := slotOf(ev.at)
-	switch {
-	case slot <= s.curSlot:
-		// The active bucket — including the defensive clamp for events
-		// scheduled by unwinding coroutines after an abort peeked ahead
-		// (such events are never popped: the run processes no more events).
-		pushEvent(&s.active, ev)
-		if d := int64(len(s.active)); d > s.stats.MaxBucketDepth {
-			s.stats.MaxBucketDepth = d
+// SubmitJob hands job to the expansion pool and reserves its sequence
+// block: shard i owns seqs [base+i·seqPerShard, base+(i+1)·seqPerShard),
+// where base is the value ExpandShard receives — so every staged event's
+// tie-break key is fixed here, under the token, before any worker runs.
+// The base travels with the dispatch (never through the job itself): a
+// worker may pick the job up before SubmitJob returns. earliest must
+// lower-bound the instant of every event the job will stage; it is what
+// lets the pop path keep draining earlier events without joining the pool.
+// Panics on an unsharded scheduler.
+func (s *Scheduler) SubmitJob(job ShardJob, earliest Time, seqPerShard uint64) {
+	if len(s.shards) == 0 {
+		panic("vclock: SubmitJob on an unsharded scheduler")
+	}
+	if earliest < s.now {
+		earliest = s.now
+	}
+	t := shardTask{job: job, base: s.seq + 1}
+	s.seq += uint64(len(s.shards)) * seqPerShard
+	s.stats.ExpandJobs++
+	if s.njobs == 0 || earliest < s.jobsEarliest {
+		s.jobsEarliest = earliest
+	}
+	s.njobs++
+	if s.workers > 1 {
+		s.ensurePool()
+		s.jobWG.Add(s.workers)
+		for _, ch := range s.jobsCh {
+			ch <- t
 		}
-	case slot < s.curSlot+wheelSlots:
-		b := &s.slots[slot&wheelMask]
-		*b = append(*b, ev)
-		s.wheelCount++
-		if d := int64(len(*b)); d > s.stats.MaxBucketDepth {
-			s.stats.MaxBucketDepth = d
-		}
-	default:
-		pushEvent(&s.overflow, ev)
+	} else {
+		// Serial mode: defer to the flush point anyway, so flush counts —
+		// and with them SchedulerStats — match every other Workers setting.
+		s.pendingJobs = append(s.pendingJobs, t)
 	}
 }
 
-// advance makes the earliest pending event poppable from the active heap.
-// It returns false when no event is pending. advance only repositions
-// events between tiers (preserving the (at, seq) total order); it never
-// fires one, so peeking is side-effect free with respect to the run.
-func (s *Scheduler) advance() bool {
+// ensurePool lazily spawns the worker goroutines — at the first SubmitJob,
+// not at New, so schedulers that are built but never run (e.g. a network
+// constructor error path) leak nothing. Worker w owns shards {s : s mod
+// workers == w}; the shard→worker map is fixed, but since shards carry
+// their own RNG streams and staging, the map affects only load balance,
+// never the schedule.
+func (s *Scheduler) ensurePool() {
+	if s.poolUp {
+		return
+	}
+	s.poolUp = true
+	s.jobsCh = make([]chan shardTask, s.workers)
+	s.workerWG.Add(s.workers)
+	for w := 0; w < s.workers; w++ {
+		ch := make(chan shardTask, 128)
+		s.jobsCh[w] = ch
+		go func(w int, ch chan shardTask) {
+			defer s.workerWG.Done()
+			for t := range ch {
+				for sh := w; sh < len(s.shards); sh += s.workers {
+					t.job.ExpandShard(sh, t.base, &s.staged[sh])
+				}
+				s.jobWG.Done()
+			}
+		}(w, ch)
+	}
+}
+
+// stopPool joins outstanding jobs and terminates the worker goroutines.
+// Staged events of never-flushed jobs are dropped — by then the run is
+// over or aborted and would never pop them. Idempotent.
+func (s *Scheduler) stopPool() {
+	if s.poolDown {
+		return
+	}
+	s.poolDown = true
+	if !s.poolUp {
+		return
+	}
+	s.jobWG.Wait()
+	for _, ch := range s.jobsCh {
+		close(ch)
+	}
+	s.workerWG.Wait()
+}
+
+// flush joins every outstanding expansion job and moves the staged events
+// into their shard wheels. It runs under the token; the WaitGroup join (or
+// the inline expansion at Workers = 1) is what orders worker writes before
+// the token's reads. Events are inserted in shard order with their
+// submit-time sequence numbers, so the wheels' contents — and each wheel's
+// counters — end up identical for every worker count.
+func (s *Scheduler) flush() {
+	if s.njobs == 0 {
+		return
+	}
+	s.stats.PoolFlushes++
+	if s.workers > 1 {
+		s.jobWG.Wait()
+	} else {
+		for _, t := range s.pendingJobs {
+			for sh := range s.shards {
+				t.job.ExpandShard(sh, t.base, &s.staged[sh])
+			}
+		}
+		clear(s.pendingJobs)
+		s.pendingJobs = s.pendingJobs[:0]
+	}
+	for i := range s.shards {
+		w := &s.shards[i]
+		ins := &s.staged[i]
+		for _, ev := range ins.evs {
+			if ev.at < s.now {
+				// Defensive: a job's events may not precede its declared
+				// earliest, and pops never pass jobsEarliest while jobs are
+				// outstanding — so this clamp should never bite; it mirrors
+				// AtEvent's "time never flows backwards".
+				ev.at = s.now
+			}
+			w.insert(ev)
+		}
+		w.scheduled += int64(len(ins.evs))
+		s.shardLive += len(ins.evs)
+		clear(ins.evs)
+		ins.evs = ins.evs[:0]
+	}
+	s.njobs = 0
+	s.jobsEarliest = maxTime
+}
+
+// nextWheel surfaces the globally earliest pending event and returns the
+// wheel whose active heap holds it. It implements the deterministic merge:
+// the candidate is the (at, seq)-minimum over the main-wheel head and every
+// shard-wheel head, and it is only returned while no outstanding expansion
+// job could stage an earlier event (candidate.at < jobsEarliest — the
+// lookahead rule). Otherwise the pool is flushed first and the scan
+// re-runs. Every decision here reads token-owned state only, so flush
+// points — and everything downstream — are independent of worker timing.
+func (s *Scheduler) nextWheel() (*wheel, bool) {
 	for {
-		// Cascade overflow events whose slot has entered the window. They
-		// were beyond the horizon when scheduled; the horizon has moved.
-		for len(s.overflow) > 0 && slotOf(s.overflow[0].at) < s.curSlot+wheelSlots {
-			ev := popEvent(&s.overflow)
-			s.stats.WheelCascades++
-			s.insert(ev)
+		var best *wheel
+		if s.main.advance() {
+			best = &s.main
 		}
-		if len(s.active) > 0 {
-			return true
-		}
-		if s.wheelCount > 0 {
-			// Walk the window to the next non-empty bucket and activate it.
-			end := s.curSlot + wheelSlots
-			for sl := s.curSlot + 1; sl < end; sl++ {
-				b := &s.slots[sl&wheelMask]
-				if len(*b) == 0 {
+		if s.shardLive > 0 {
+			for i := range s.shards {
+				w := &s.shards[i]
+				if !w.advance() {
 					continue
 				}
-				s.curSlot = sl
-				s.wheelCount -= len(*b)
-				s.active = append(s.active[:0], *b...)
-				*b = (*b)[:0]
-				heapify(s.active)
-				break
+				if best == nil || w.active[0].before(best.active[0]) {
+					best = w
+				}
 			}
-			if len(s.active) == 0 {
-				panic("vclock: wheelCount > 0 but no bucket found in window")
-			}
-			// Re-enter the loop: the window moved, overflow may cascade.
+		}
+		if s.njobs > 0 && (best == nil || best.active[0].at >= s.jobsEarliest) {
+			s.flush()
 			continue
 		}
-		if len(s.overflow) == 0 {
-			return false
+		if best == nil {
+			return nil, false
 		}
-		// Wheel empty: jump the window to the earliest far-future event and
-		// let the cascade at the top of the loop pull it (and its cohort) in.
-		s.curSlot = slotOf(s.overflow[0].at)
+		return best, true
 	}
 }
 
@@ -592,17 +985,19 @@ func (s *Scheduler) stepHandler(p *Proc) {
 }
 
 // Release terminates every process the scheduler still owns, releasing the
-// goroutines Spawn started. It is the teardown path for schedulers whose
-// Run was never called (every spawned coroutine goroutine is still waiting
-// at its birth gate and would otherwise leak) and for Runs unwound by a
-// panicking event callback (parked coroutines would leak the same way);
-// Run invokes it on the way out, and callers that build a scheduler but
-// may abandon it should defer it themselves. After a completed Run it is a
-// no-op, as is calling it twice.
+// goroutines Spawn started and the expansion pool's workers. It is the
+// teardown path for schedulers whose Run was never called (every spawned
+// coroutine goroutine is still waiting at its birth gate and would
+// otherwise leak) and for Runs unwound by a panicking event callback
+// (parked coroutines would leak the same way); Run invokes it on the way
+// out, and callers that build a scheduler but may abandon it should defer
+// it themselves. After a completed Run it is a no-op, as is calling it
+// twice.
 //
 // Release must be called from the goroutine that owns the scheduler, never
 // from event callbacks or process bodies.
 func (s *Scheduler) Release() {
+	s.stopPool()
 	if s.live == 0 {
 		return // nothing unfinished — notably after every completed Run
 	}
@@ -630,16 +1025,16 @@ func (s *Scheduler) Release() {
 }
 
 // Run drives the event loop to completion: processes run (in FIFO wake
-// order) until all are parked, then the earliest pending event fires,
-// advancing the virtual clock; repeat. Run returns once every process has
-// finished — normally, or after an abort (quiescence, deadline, or event
-// budget) unwound them.
+// order) until all are parked, then the earliest pending event — merged
+// across the main and shard wheels — fires, advancing the virtual clock;
+// repeat. Run returns once every process has finished — normally, or after
+// an abort (quiescence, deadline, or event budget) unwound them.
 //
 // Run must be called exactly once per Scheduler.
 func (s *Scheduler) Run() Outcome {
 	// No-op on a completed run; on a panicking event callback it releases
 	// every coroutine goroutine (birth-gated or parked) instead of leaking
-	// them.
+	// them, and always tears the expansion pool down.
 	defer s.Release()
 	for {
 		if p := s.popRunnable(); p != nil {
@@ -655,27 +1050,32 @@ func (s *Scheduler) Run() Outcome {
 			// still drain the wheel completely.
 			s.outcome.Now = s.now
 			s.outcome.Steps = s.steps
-			s.outcome.Stats = s.stats
+			s.outcome.Stats = s.Stats()
 			return s.outcome
 		}
-		if !s.aborted && s.pending() > 0 && s.advance() {
-			if s.deadline > 0 && s.active[0].at > s.deadline {
-				s.outcome.DeadlineExceeded = true
-				s.abort()
+		if !s.aborted {
+			if w, ok := s.nextWheel(); ok {
+				if s.deadline > 0 && w.active[0].at > s.deadline {
+					s.outcome.DeadlineExceeded = true
+					s.abort()
+					continue
+				}
+				if s.maxSteps > 0 && s.steps >= s.maxSteps {
+					s.outcome.StepsExceeded = true
+					s.abort()
+					continue
+				}
+				ev := popEvent(&w.active)
+				if w != &s.main {
+					s.shardLive--
+				}
+				s.steps++
+				if ev.at > s.now {
+					s.now = ev.at
+				}
+				ev.ev.Fire()
 				continue
 			}
-			if s.maxSteps > 0 && s.steps >= s.maxSteps {
-				s.outcome.StepsExceeded = true
-				s.abort()
-				continue
-			}
-			ev := popEvent(&s.active)
-			s.steps++
-			if ev.at > s.now {
-				s.now = ev.at
-			}
-			ev.ev.Fire()
-			continue
 		}
 		if s.live > 0 {
 			if !s.aborted {
@@ -691,7 +1091,7 @@ func (s *Scheduler) Run() Outcome {
 		}
 		s.outcome.Now = s.now
 		s.outcome.Steps = s.steps
-		s.outcome.Stats = s.stats
+		s.outcome.Stats = s.Stats()
 		return s.outcome
 	}
 }

@@ -1,0 +1,152 @@
+package allforone
+
+// Parallelism-independence differential suite (DESIGN.md §7, §12): the
+// Workers knob is pure mechanism, so the same Scenario must produce a
+// DeepEqual Outcome — decisions, rounds, message counts, steps, virtual
+// time, and the scheduler's own work counters — at every expansion-pool
+// width. The matrix crosses the two protocols with handler bodies against
+// every delay-profile compile target (the uniform fast path with its
+// lookahead overlap, an explicit skew matrix, a cluster WAN, a healing
+// partition), all with timed crashes in flight, at Workers ∈ {1, 2, 3,
+// NumCPU}. n = 300 sits above the sharding engagement floor (n ≥ 256)
+// with uneven 18/19-recipient stripes, and 3 workers divide the 16 shards
+// unevenly — both on purpose.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"allforone/internal/netsim"
+)
+
+const workersN = 300
+
+// workersScenario builds one differential cell: a 10-cluster topology, an
+// 8-process timed minority crash spread across clusters, and mixed binary
+// proposals (unanimous for benor — see largeNWorkload).
+func workersScenario(t *testing.T, protocolName string, prof NetworkProfile, workers int) Scenario {
+	t.Helper()
+	part, err := Blocks(workersN, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := NewSchedule(workersN)
+	for p := 0; p < 8; p++ {
+		if err := sched.SetTimed(ProcID(p*(workersN/8)+1), 150*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return Scenario{
+		Protocol: protocolName,
+		Topology: Topology{Partition: part},
+		Workload: largeNWorkload(workersN, protocolName == ProtocolHybrid),
+		Faults:   sched,
+		Profile:  prof,
+		Seed:     4099,
+		Workers:  workers,
+		Bounds:   Bounds{MaxRounds: 10_000},
+	}
+}
+
+// workersProfiles returns one profile per compile target of the public
+// NetworkProfile surface.
+func workersProfiles() []struct {
+	name string
+	p    NetworkProfile
+} {
+	rng := rand.New(rand.NewPCG(4099, 17))
+	matrix := netsim.RandomDelayMatrix(rng, workersN, 40*time.Microsecond)
+	return []struct {
+		name string
+		p    NetworkProfile
+	}{
+		{"uniform", UniformProfile(50*time.Microsecond, 2*time.Millisecond)},
+		{"skew-matrix", SkewMatrixProfile(matrix)},
+		{"cluster-wan", ClusterWANProfile(30*time.Microsecond, 300*time.Microsecond, 20*time.Microsecond)},
+		{"healing-partition", HealingPartitionProfile(nil, 300*time.Microsecond, 0, 20*time.Microsecond)},
+	}
+}
+
+// TestWorkersDifferential is the parallelism-independence gate: for every
+// cell, the Workers = 1 outcome is the reference and every other width
+// must match it bit for bit.
+func TestWorkersDifferential(t *testing.T) {
+	t.Parallel()
+	widths := []int{2, 3, 0} // 0 = NumCPU; 1 is the reference
+	for _, protocolName := range []string{ProtocolHybrid, ProtocolBenOr} {
+		for _, prof := range workersProfiles() {
+			protocolName, prof := protocolName, prof
+			t.Run(fmt.Sprintf("%s/%s", protocolName, prof.name), func(t *testing.T) {
+				t.Parallel()
+				ref, err := Run(workersScenario(t, protocolName, prof.p, 1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref.BoundedOut() {
+					t.Fatalf("reference run bounded out after %d steps", ref.Steps)
+				}
+				if err := ref.CheckAgreement(); err != nil {
+					t.Fatal(err)
+				}
+				if !ref.AllLiveDecided() {
+					t.Fatalf("reference run: live processes unfinished: decided %d, crashed %d, blocked %d of %d",
+						ref.CountStatus(StatusDecided), ref.CountStatus(StatusCrashed),
+						ref.CountStatus(StatusBlocked), workersN)
+				}
+				// The suite must actually exercise the sharded path: above
+				// the engagement floor every broadcast expands through it.
+				if ref.Sched.ShardEvents == 0 || ref.Sched.ExpandJobs == 0 {
+					t.Fatalf("sharded expansion not engaged at n=%d: %+v", workersN, ref.Sched)
+				}
+				for _, w := range widths {
+					out, err := Run(workersScenario(t, protocolName, prof.p, w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ref, out) {
+						t.Fatalf("Workers=%d diverged from Workers=1:\n  ref: %+v\n  got: %+v", w, ref, out)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestWorkersBelowShardingFloor pins the engagement rule: below n = 256
+// the run is unsharded at every Workers setting — and still bit-identical,
+// trivially, because the knob selects nothing.
+func TestWorkersBelowShardingFloor(t *testing.T) {
+	t.Parallel()
+	mk := func(workers int) Scenario {
+		part, err := Blocks(64, 8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return Scenario{
+			Protocol: ProtocolHybrid,
+			Topology: Topology{Partition: part},
+			Workload: largeNWorkload(64, true),
+			Profile:  UniformProfile(50*time.Microsecond, 2*time.Millisecond),
+			Seed:     4099,
+			Workers:  workers,
+		}
+	}
+	ref, err := Run(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Sched.ShardEvents != 0 || ref.Sched.ExpandJobs != 0 || ref.Sched.PoolFlushes != 0 {
+		t.Fatalf("n=64 run engaged sharding: %+v", ref.Sched)
+	}
+	out, err := Run(mk(runtime.NumCPU()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(ref, out) {
+		t.Fatalf("unsharded runs diverged across Workers:\n  ref: %+v\n  got: %+v", ref, out)
+	}
+}
