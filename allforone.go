@@ -1,15 +1,18 @@
 package allforone
 
 import (
+	"allforone/internal/allconcur"
 	"allforone/internal/benor"
 	"allforone/internal/coin"
 	"allforone/internal/core"
 	"allforone/internal/failures"
+	"allforone/internal/gossip"
 	"allforone/internal/harness"
 	"allforone/internal/mm"
 	"allforone/internal/model"
 	"allforone/internal/mpcoin"
 	"allforone/internal/multivalued"
+	"allforone/internal/overlay"
 	"allforone/internal/protocol"
 	"allforone/internal/register"
 	"allforone/internal/shconsensus"
@@ -31,8 +34,8 @@ import (
 type Scenario = protocol.Scenario
 
 // Topology is a scenario's communication structure: a cluster Partition
-// (hybrid protocols), a bare process count N (flat protocols), or an m&m
-// edge list MMEdges.
+// (hybrid protocols), a bare process count N (flat protocols), an m&m
+// edge list MMEdges, or a sparse Overlay digraph spec (gossip, allconcur).
 type Topology = protocol.Topology
 
 // Workload holds a scenario's per-process inputs; only the field matching
@@ -77,7 +80,41 @@ const (
 	ProtocolMultivalued = multivalued.ProtocolName
 	ProtocolSMR         = smr.ProtocolName
 	ProtocolRegister    = register.ProtocolName
+	ProtocolGossip      = gossip.ProtocolName
+	ProtocolAllConcur   = allconcur.ProtocolName
 )
+
+// OverlaySpec describes the sparse communication digraph of the overlay
+// protocol family (Topology.Overlay): a deterministic d-regular family —
+// generalized de Bruijn or circulant — or seeded random peer-sampling
+// views, built identically by every process from (spec, n, seed). See
+// DESIGN.md §13.
+type OverlaySpec = overlay.Spec
+
+// Overlay digraph families (OverlaySpec.Kind).
+const (
+	// OverlayDeBruijn: the generalized de Bruijn digraph GB(d, n) —
+	// logarithmic diameter, vertex connectivity ≥ d−1.
+	OverlayDeBruijn = overlay.KindDeBruijn
+	// OverlayCirculant: successors i+1 … i+d (mod n) — linear diameter but
+	// exact vertex connectivity d, the tightest fault budget per degree.
+	OverlayCirculant = overlay.KindCirculant
+	// OverlayRandom: a seeded Hamiltonian cycle plus d−1 random extra
+	// successors per process — the static stand-in for peer-sampling views.
+	OverlayRandom = overlay.KindRandom
+)
+
+// DefaultOverlayDegree returns the degree the overlay family defaults to
+// at a given process count (≈ log₂(n)/2, the AllConcur paper's working
+// range; at least 3 so small topologies keep a useful fault budget).
+func DefaultOverlayDegree(n int) int { return overlay.DefaultDegree(n) }
+
+// OverlayKind selects an overlay digraph family (OverlaySpec.Kind).
+type OverlayKind = overlay.Kind
+
+// ParseOverlayKind resolves an overlay-family name as accepted by the
+// CLIs: debruijn (or db), circulant (or ring), random (or sample).
+func ParseOverlayKind(name string) (OverlayKind, error) { return overlay.ParseKind(name) }
 
 // Hybrid algorithm names (Scenario.Algorithm for ProtocolHybrid; empty
 // picks AlgoCommonCoin).

@@ -1,7 +1,7 @@
 // Command hybridbench regenerates the reproduction's experiment tables
-// (E1…E8, one per figure/claim of the paper — see DESIGN.md §5 and
-// EXPERIMENTS.md) and hosts the adversarial schedule search (-search,
-// DESIGN.md §9).
+// (E1…E8, one per figure/claim of the paper, plus the extension
+// experiments E9/E10 — see DESIGN.md §5 and EXPERIMENTS.md) and hosts
+// the adversarial schedule search (-search, DESIGN.md §9).
 //
 // Examples:
 //
@@ -115,7 +115,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridbench", flag.ContinueOnError)
 	var (
-		exps      = fs.String("exp", "all", "comma-separated experiment ids (E1..E8) or 'all'")
+		exps      = fs.String("exp", "all", "comma-separated experiment ids (E1..E10, A1) or 'all'")
 		trials    = fs.Int("trials", 100, "trials per table cell")
 		trialsMin = fs.Int("trials-min", 1, "repeat each experiment this many times and report the median-timed repetition (damps wall-clock noise in BENCH snapshots)")
 		seed      = fs.Int64("seed", 1, "seed base (experiments) / search seed (-search)")

@@ -27,6 +27,10 @@
 //
 //	# Multivalued consensus on string proposals.
 //	hybridsim -protocol multivalued -proposals alpha,beta,gamma,delta,epsilon,zeta,eta
+//
+//	# The sparse-overlay family: one rumor source among 1000 processes on
+//	# a circulant digraph of out-degree 5.
+//	hybridsim -protocol gossip -n 1000 -proposals random -overlay circulant:5
 package main
 
 import (
@@ -57,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		partSpec   = fs.String("partition", "1-3/4-5/6-7", "cluster decomposition, 1-based (e.g. 1/2-5/6-7)")
 		nFlag      = fs.Int("n", 0, "process count for protocols without a partition (0 = take it from -partition)")
 		mmEdges    = fs.String("mm-edges", "", "m&m graph edges a-b;c-d…, 1-based (protocol mm; empty = ring)")
+		ovSpec     = fs.String("overlay", "", "sparse overlay digraph KIND[:DEGREE[:SEED]], kind debruijn|circulant|random (protocols gossip/allconcur; empty = debruijn at the default degree)")
 		algoName   = fs.String("algo", "", "hybrid algorithm: local-coin or common-coin (empty = common-coin)")
 		proposals  = fs.String("proposals", "random", "per-process bits (e.g. 1011010), 'random', or comma-separated strings (multivalued/smr)")
 		slots      = fs.Int("slots", 2, "log slots to agree on (protocol smr)")
@@ -125,6 +130,13 @@ func run(args []string, out io.Writer) error {
 		}
 		sc.Topology.MMEdges = edges
 	}
+	if info.NeedsOverlay || *ovSpec != "" {
+		ov, err := parseOverlay(*ovSpec)
+		if err != nil {
+			return err
+		}
+		sc.Topology.Overlay = ov
+	}
 
 	// Workload.
 	var allowed []string
@@ -188,6 +200,13 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "partition : %v\n", sc.Topology.Partition)
 	} else {
 		fmt.Fprintf(out, "processes : %d\n", n)
+	}
+	if ov := sc.Topology.Overlay; ov != nil {
+		d := ov.Degree
+		if d == 0 {
+			d = allforone.DefaultOverlayDegree(n)
+		}
+		fmt.Fprintf(out, "overlay   : %v d=%d\n", ov.Kind, d)
 	}
 	fmt.Fprintf(out, "engine    : %v\n", eng)
 	if len(info.Algorithms) > 0 {
@@ -272,8 +291,17 @@ func printRegistry(out io.Writer) {
 		if info.NeedsGraph {
 			caps = append(caps, "graph")
 		}
+		if info.NeedsOverlay {
+			caps = append(caps, "overlay")
+		}
 		if info.HasNetwork {
 			caps = append(caps, "network")
+		}
+		if info.SubQuadratic {
+			caps = append(caps, "sub-quadratic")
+		}
+		if info.VirtualOnly {
+			caps = append(caps, "virtual-only")
 		}
 		if info.StageCrashes {
 			caps = append(caps, "stage-crashes")
@@ -344,6 +372,38 @@ func splitCSV(spec string, n int) []string {
 		out[i] = strings.TrimSpace(items[i%len(items)])
 	}
 	return out
+}
+
+// parseOverlay parses "kind[:degree[:seed]]" overlay specs; empty means a
+// de Bruijn digraph at the default degree for the process count.
+func parseOverlay(spec string) (*allforone.OverlaySpec, error) {
+	if spec == "" {
+		return &allforone.OverlaySpec{Kind: allforone.OverlayDeBruijn}, nil
+	}
+	parts := strings.Split(spec, ":")
+	if len(parts) > 3 {
+		return nil, fmt.Errorf("overlay %q: want kind[:degree[:seed]]", spec)
+	}
+	kind, err := allforone.ParseOverlayKind(parts[0])
+	if err != nil {
+		return nil, err
+	}
+	ov := &allforone.OverlaySpec{Kind: kind}
+	if len(parts) > 1 {
+		d, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, fmt.Errorf("overlay %q: bad degree: %w", spec, err)
+		}
+		ov.Degree = d
+	}
+	if len(parts) > 2 {
+		s, err := strconv.ParseInt(parts[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("overlay %q: bad seed: %w", spec, err)
+		}
+		ov.Seed = s
+	}
+	return ov, nil
 }
 
 // parseEdges parses "a-b;c-d" 1-based edge specs; empty means a ring.

@@ -181,13 +181,52 @@ func TestRunEveryRegisteredBinaryProtocol(t *testing.T) {
 	}
 }
 
+func TestRunOverlayFlag(t *testing.T) {
+	t.Parallel()
+	// Explicit overlay spec on gossip: one rumor source on a circulant
+	// digraph; the output names the overlay at its effective degree.
+	var sb strings.Builder
+	err := run([]string{
+		"-protocol", "gossip", "-n", "8",
+		"-proposals", "10000000",
+		"-overlay", "circulant:3",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run(gossip, circulant:3): %v", err)
+	}
+	if !strings.Contains(sb.String(), "overlay   : circulant d=3") {
+		t.Errorf("output misses the overlay line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "agreement ✓") {
+		t.Errorf("gossip run did not pass agreement:\n%s", sb.String())
+	}
+
+	// The values-workload half of the family: allconcur on a seeded random
+	// overlay, full kind:degree:seed spec.
+	sb.Reset()
+	err = run([]string{
+		"-protocol", "allconcur", "-n", "5",
+		"-proposals", "a,b,c,d,e",
+		"-overlay", "random:3:7",
+	}, &sb)
+	if err != nil {
+		t.Fatalf("run(allconcur, random:3:7): %v", err)
+	}
+	if !strings.Contains(sb.String(), "overlay   : random d=3") {
+		t.Errorf("output misses the overlay line:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "validity ✓") {
+		t.Errorf("allconcur run did not pass validity:\n%s", sb.String())
+	}
+}
+
 func TestRunListProtocols(t *testing.T) {
 	t.Parallel()
 	var sb strings.Builder
 	if err := run([]string{"-list-protocols"}, &sb); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"hybrid", "benor", "mpcoin", "shmem", "mm", "multivalued", "smr", "register"} {
+	for _, name := range []string{"hybrid", "benor", "mpcoin", "shmem", "mm", "multivalued", "smr", "register", "gossip", "allconcur"} {
 		if !strings.Contains(sb.String(), name) {
 			t.Errorf("registry listing misses %q:\n%s", name, sb.String())
 		}
@@ -205,6 +244,12 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		{"-profile", "warp:1ms"},
 		{"-protocol", "shmem", "-profile", "uniform:0:1ms", "-proposals", "1111111"},
 		{"-protocol", "register"},
+		{"-protocol", "gossip", "-overlay", "warp:3"},
+		{"-protocol", "gossip", "-overlay", "debruijn:x"},
+		{"-protocol", "gossip", "-overlay", "random:3:zzz"},
+		{"-protocol", "gossip", "-overlay", "debruijn:3:1:9"},
+		{"-protocol", "gossip", "-overlay", "circulant:99"},
+		{"-protocol", "gossip", "-engine", "realtime"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {

@@ -16,9 +16,11 @@
 // algorithms (Algorithm 2, local coins; Algorithm 3, a common coin), its
 // comparators (pure message-passing Ben-Or and common-coin baselines,
 // single-object shared-memory consensus, a consensus analog for the m&m
-// model of Aguilera et al.), and the extension stack built on top
+// model of Aguilera et al.), the extension stack built on top
 // (multivalued consensus, a cluster-aware atomic register, a replicated
-// log). Both algorithms rest on the msg_exchange pattern ("one for all
+// log), and a sparse-overlay protocol family for the n=10k–100k regime
+// (ProtocolGossip, ProtocolAllConcur — see "Sparse overlays" below).
+// Both algorithms rest on the msg_exchange pattern ("one for all
 // and all for one"): a message received from one member of a cluster
 // counts as received from every member, so consensus terminates whenever
 // clusters with a surviving member cover a majority of processes — even
@@ -58,6 +60,30 @@
 // with held messages delivered afterwards — reliable channels, arbitrary
 // but finite transit). Profiles compile onto the simulated network per
 // topology; under the virtual engine every profile is deterministic.
+//
+// # Sparse overlays
+//
+// The protocols above broadcast — Θ(n²) messages per round — which caps
+// practical population sizes. ProtocolGossip (push/pull/push-pull rumor
+// dissemination) and ProtocolAllConcur (leaderless single-round atomic
+// broadcast with early-termination failure tracking) instead send only
+// to a constant number of successors on a deterministic overlay digraph,
+// costing Θ(n·d) per round. Declare the overlay in the topology:
+//
+//	out, err := allforone.Run(allforone.Scenario{
+//		Protocol: allforone.ProtocolGossip,
+//		Topology: allforone.Topology{
+//			N:       10_000,
+//			Overlay: &allforone.OverlaySpec{Kind: allforone.OverlayDeBruijn, Degree: allforone.DefaultOverlayDegree(10_000)},
+//		},
+//		Workload: workload, // binary rumor bits (gossip) or per-process values (allconcur)
+//	})
+//
+// Overlay families: OverlayDeBruijn (logarithmic diameter),
+// OverlayCirculant (vertex connectivity exactly Degree — survives any
+// Degree−1 crashes), OverlayRandom (seeded d-regular peer sampling).
+// Both protocols run on the virtual engine only and validate the spec at
+// build time (DESIGN.md §13).
 //
 // # Execution engines
 //

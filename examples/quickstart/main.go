@@ -64,4 +64,27 @@ func main() {
 	for _, info := range allforone.Protocols() {
 		fmt.Printf("  %-12s %s\n", info.Name, info.Description)
 	}
+
+	// Beyond broadcast: the sparse-overlay family scales to populations no
+	// all-to-all protocol can touch. One rumor source among n=1000
+	// processes on a de Bruijn overlay infects everyone in Θ(n·d·log n)
+	// messages — not the Θ(n²) per round of the protocols above.
+	const n = 1000
+	rumor := make([]allforone.Value, n) // all Zero except one source
+	rumor[0] = allforone.One
+	gout, err := allforone.Run(allforone.Scenario{
+		Protocol: allforone.ProtocolGossip,
+		Topology: allforone.Topology{
+			N:       n,
+			Overlay: &allforone.OverlaySpec{Kind: allforone.OverlayDeBruijn, Degree: allforone.DefaultOverlayDegree(n)},
+		},
+		Workload: allforone.Workload{Binary: rumor},
+		Seed:     42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	gval, gcount, _ := gout.Decided()
+	fmt.Printf("\ngossip at n=%d: decision %v by %d/%d processes, %d messages (n² would be %d per round)\n",
+		n, gval, gcount, n, gout.Metrics.MsgsSent, n*n)
 }

@@ -11,6 +11,7 @@ import (
 	"allforone/internal/adversary"
 	"allforone/internal/failures"
 	"allforone/internal/model"
+	"allforone/internal/overlay"
 	"allforone/internal/protocol"
 	_ "allforone/internal/protocols"
 	"allforone/internal/register"
@@ -513,5 +514,65 @@ func TestLinearizabilityObjectiveCleanOnRealRegister(t *testing.T) {
 	if rep.Decided != rep.Probes {
 		t.Fatalf("decided %d of %d probes (undecided %d, bounded-out %d)",
 			rep.Decided, rep.Probes, rep.Undecided, rep.BoundedOut)
+	}
+}
+
+// TestSearchSparseOverlayProtocols is the schedule-search smoke for the
+// sparse-overlay family: gossip and allconcur on a circulant overlay of
+// vertex connectivity 3 with two timed crashes, searched under the default
+// strategy (seed hops, skew mutations, crash-instant jitter). The crash
+// SET never mutates, so the live subgraph stays strongly connected in
+// every probe: no probe may violate safety or block, and the worst
+// finding must replay bit-for-bit.
+func TestSearchSparseOverlayProtocols(t *testing.T) {
+	t.Parallel()
+	const n = 7
+	for _, name := range []string{"gossip", "allconcur"} {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			workload := protocol.Workload{}
+			for i := 0; i < n; i++ {
+				workload.Binary = append(workload.Binary, model.Value(int8(i%2)))
+				workload.Values = append(workload.Values, fmt.Sprintf("v%d", i%3))
+			}
+			faults := failures.NewSchedule(n)
+			for _, p := range []model.ProcID{0, 6} {
+				if err := faults.SetTimed(p, 300*time.Microsecond); err != nil {
+					t.Fatal(err)
+				}
+			}
+			rep, err := adversary.Search(adversary.Config{
+				Base: protocol.Scenario{
+					Protocol: name,
+					Topology: protocol.Topology{
+						N:       n,
+						Overlay: &overlay.Spec{Kind: overlay.KindCirculant, Degree: 3},
+					},
+					Workload: workload,
+					Faults:   faults,
+					Seed:     1,
+					Bounds:   protocol.Bounds{MaxRounds: 10_000},
+				},
+				Budget: 60,
+				Seed:   11,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep.Violations != 0 {
+				t.Fatalf("search claims %d safety violations: %+v", rep.Violations, rep.Findings)
+			}
+			if rep.Undecided != 0 {
+				t.Fatalf("%d undecided probes despite κ = 3 > 2 crashes", rep.Undecided)
+			}
+			again, _, err := rep.Worst.Replay()
+			if err != nil {
+				t.Fatalf("replay: %v", err)
+			}
+			if !reflect.DeepEqual(rep.Worst.Outcome, again) {
+				t.Fatalf("worst probe replay diverged:\n  search: %+v\n  replay: %+v", rep.Worst.Outcome, again)
+			}
+		})
 	}
 }

@@ -1,0 +1,510 @@
+// Package allconcur implements leaderless atomic broadcast over a sparse
+// overlay digraph, after AllConcur (Poke, Hoefler, Glass 2017): every
+// process floods its proposal over a d-regular digraph G, tracks which
+// proposals can still be in flight, and decides — without any leader or
+// coordinator — once its delivered set is provably complete. The overlay's
+// vertex connectivity is the fault budget: up to κ(G)−1 crashes leave the
+// live subgraph strongly connected and every survivor terminates.
+//
+// # Dissemination and early termination
+//
+// A run is one single round of atomic broadcast. Each process R-broadcasts
+// its value by flooding: on the FIRST receipt of origin q's value it
+// forwards the value to its d overlay successors (later duplicate copies
+// are dropped). Crash-free, every process therefore receives all n values
+// within diam(G) hops and decides immediately — the "early termination"
+// half of AllConcur: no failure-detector timeout is ever waited out.
+//
+// With crashes the protocol must decide when to stop waiting for a missing
+// origin q. A crashing process emits a tombstone marker on each outgoing
+// link (the simulation's deterministic stand-in for AllConcur's
+// heartbeat-based failure detector, which provides the same guarantee: a
+// successor s of a crashed f eventually learns of the crash AFTER the
+// f→s channel has been drained). A successor s processing f's marker
+// emits a FAIL(f,s) notification, flooded like a value. FAIL(f,s) at p
+// certifies: every message f ever put on the f→s channel was processed
+// by s BEFORE s emitted the notification — so if origin q's value had
+// been among them, it would have been forwarded ahead of FAIL(f,s) and p
+// would already hold it (per-link FIFO plus in-order batch flushing keep
+// that order on every forwarding path; see the envelope invariant below).
+//
+// Process p may therefore exclude a missing origin q once the suspect
+// closure of q is fully resolved: starting from C = {q}, every f ∈ C must
+// be known crashed, and each successor s ∈ Succ(f) must either have
+// certified FAIL(f,s) or be known crashed itself (joining C — it may have
+// received q's value and died before forwarding). If the closure runs
+// into a live successor whose channel is not yet certified drained, q's
+// value may still be in flight and p keeps waiting. When every origin is
+// either delivered or excluded, p decides the value of the SMALLEST
+// delivered origin id; the flooding argument makes the delivered sets of
+// all deciding processes equal, so decisions agree.
+//
+// # Message format and the envelope invariant
+//
+// News items (value forwards and FAIL notifications) are not sent one
+// message each: each process appends them — in processing order — to an
+// outbox, and flushes the outbox as ONE envelope per successor (the
+// slice is shared across the d sends; netsim payloads are never
+// mutated). Flushes are atomic within a reactor invocation: either every
+// successor receives the envelope or (when the process crashes with an
+// unflushed outbox) none does, which the exclusion rule counts — soundly
+// — as "never forwarded". Per-link sequence numbers restore FIFO under
+// the network's random delays (a reorder buffer holds early envelopes),
+// and a short flush delay batches the items of several deliveries into
+// one envelope, keeping the envelope count near n·d per dissemination
+// wave instead of one message per item copy.
+//
+// Like gossip, the implementation is an inline handler reactor
+// (driver.RunHandlers) registered as "allconcur" with the overlay and
+// sub-quadratic capability flags; timed crashes are honored by the
+// protocol itself (the tombstone markers), not by the driver.
+package allconcur
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"allforone/internal/driver"
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/overlay"
+	"allforone/internal/sim"
+	"allforone/internal/vclock"
+)
+
+// DefaultFlushDelay is the outbox batching window: news items arriving
+// within it leave in one envelope. Half the typical profile delay band —
+// small against dissemination latency, large enough to coalesce a
+// delivery burst.
+const DefaultFlushDelay = 100 * time.Microsecond
+
+// Config describes one atomic-broadcast run.
+type Config struct {
+	// N is the number of processes (required, ≥ 2).
+	N int
+	// Proposals holds each process's value (required, length N); every
+	// process that decides delivers the same complete set and decides the
+	// value of the smallest delivered origin id.
+	Proposals []string
+	// Spec is the overlay digraph to flood over (required). Its vertex
+	// connectivity is the fault budget: κ(G) ≥ f+1 keeps f crashes safe.
+	Spec overlay.Spec
+	// Seed makes all randomness reproducible.
+	Seed int64
+	// FlushDelay is the outbox batching window; 0 = DefaultFlushDelay.
+	FlushDelay time.Duration
+	// Engine must be sim.EngineVirtual (the zero value); Body must not be
+	// sim.BodyCoroutine — allconcur is an inline handler reactor only.
+	Engine sim.Engine
+	Body   sim.BodyKind
+	// Crashes is the timed crash pattern, honored by the protocol itself:
+	// a victim halts at its crash instant after emitting tombstone markers
+	// (its unflushed outbox dies with it). Step-point plans are rejected.
+	Crashes *failures.Schedule
+	// MaxVirtualTime / MaxSteps / Workers are the usual driver bounds;
+	// MaxSteps 0 derives the sparse default (sim.StepsLinear).
+	MaxVirtualTime time.Duration
+	MaxSteps       int64
+	Workers        int
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (profile delay policies).
+	NetOptions []netsim.Option
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("allconcur: invalid configuration")
+
+// ProcResult is one process's outcome.
+type ProcResult struct {
+	Status sim.Status
+	// Decision is the decided value (StatusDecided only).
+	Decision string
+	// Delivered is the size of the delivered set when the execution ended
+	// (diagnostic: how far dissemination got before a block or crash).
+	Delivered int
+}
+
+// Result aggregates an atomic-broadcast run.
+type Result struct {
+	Procs            []ProcResult
+	Metrics          metrics.Snapshot
+	Elapsed          time.Duration
+	VirtualTime      time.Duration
+	Steps            int64
+	Quiesced         bool
+	DeadlineExceeded bool
+	StepsExceeded    bool
+	Sched            vclock.SchedulerStats
+}
+
+// itemKind tags one news item of an envelope.
+type itemKind uint8
+
+const (
+	itemVal  itemKind = iota // a value forward: Origin proposed Value
+	itemFail                 // a crash certificate: Detector drained Origin→Detector
+)
+
+// item is one unit of flooded news.
+type item struct {
+	Kind     itemKind
+	Origin   model.ProcID // VAL: the proposer; FAIL: the crashed process
+	Detector model.ProcID // FAIL only: the successor certifying the drain
+	Value    string       // VAL only
+}
+
+// envelope is one flushed outbox: a per-link-sequenced batch of news
+// items, its slice shared by the d per-successor sends (never mutated
+// after flush).
+type envelope struct {
+	Seq   uint32
+	Items []item
+}
+
+// marker is a crashing process's tombstone, sequenced like an envelope so
+// the receiver processes it only after draining everything sent before it.
+type marker struct {
+	Seq uint32
+}
+
+// reactor is one process's state machine (driver.Reactor).
+type reactor struct {
+	id    model.ProcID
+	h     *driver.Handle
+	net   *netsim.Network
+	ctr   *metrics.Counters
+	g     *overlay.Graph
+	succ  []model.ProcID
+	value string
+	store *ProcResult
+
+	// crash plan (protocol-level; the driver never kills us)
+	victim  bool
+	crashAt time.Duration
+
+	// per-link FIFO restoration
+	sendSeq []uint32                        // next seq per successor (succ order)
+	expect  map[model.ProcID]uint32         // next expected seq per predecessor
+	reorder map[model.ProcID]map[uint32]any // early arrivals per predecessor
+	// delivered set
+	received  []bool
+	delivered int
+	minOrigin model.ProcID // smallest delivered origin (decision candidate)
+	minValue  string
+	// crash certificates: fails[f][s] = FAIL(f,s) held; len>0 ⇒ f known crashed
+	fails map[model.ProcID]map[model.ProcID]bool
+	// outbox batching
+	outbox       []item
+	flushPending bool
+	flushAt      time.Duration
+	flushDelay   time.Duration
+
+	started bool
+	done    bool
+}
+
+func (rx *reactor) finish(st sim.Status, decision string) bool {
+	*rx.store = ProcResult{Status: st, Decision: decision, Delivered: rx.delivered}
+	rx.done = true
+	return true
+}
+
+// crash emits the tombstone markers (sequenced after everything already
+// flushed) and halts. The unflushed outbox dies with the process — the
+// exclusion rule soundly counts its items as never forwarded.
+func (rx *reactor) crash() bool {
+	for k, s := range rx.succ {
+		rx.net.Send(rx.id, s, marker{Seq: rx.sendSeq[k]})
+		rx.sendSeq[k]++
+	}
+	return rx.finish(sim.StatusCrashed, "")
+}
+
+// deliver records origin q's value into the delivered set.
+func (rx *reactor) deliver(q model.ProcID, val string) {
+	rx.received[q] = true
+	rx.delivered++
+	if rx.delivered == 1 || q < rx.minOrigin {
+		rx.minOrigin, rx.minValue = q, val
+	}
+}
+
+// markFail records FAIL(f, s); it reports whether the certificate is new.
+func (rx *reactor) markFail(f, s model.ProcID) bool {
+	m := rx.fails[f]
+	if m == nil {
+		m = make(map[model.ProcID]bool)
+		rx.fails[f] = m
+	}
+	if m[s] {
+		return false
+	}
+	m[s] = true
+	return true
+}
+
+// ingest processes one in-order payload from predecessor from: deliver and
+// re-flood novel values and crash certificates; turn a tombstone into this
+// process's own FAIL certificate.
+func (rx *reactor) ingest(from model.ProcID, payload any) {
+	switch p := payload.(type) {
+	case envelope:
+		for _, it := range p.Items {
+			switch it.Kind {
+			case itemVal:
+				if !rx.received[it.Origin] {
+					rx.deliver(it.Origin, it.Value)
+					rx.outbox = append(rx.outbox, it)
+				}
+			case itemFail:
+				if rx.markFail(it.Origin, it.Detector) {
+					rx.outbox = append(rx.outbox, it)
+				}
+			}
+		}
+	case marker:
+		// from's channel to us is drained (FIFO: everything it sent before
+		// the tombstone was processed above this call). Certify it.
+		if rx.markFail(from, rx.id) {
+			rx.outbox = append(rx.outbox, item{Kind: itemFail, Origin: from, Detector: rx.id})
+		}
+	}
+}
+
+// enqueue restores per-link FIFO: process the payload if it is the next
+// expected sequence number on its link, then drain any buffered
+// continuation; buffer it otherwise.
+func (rx *reactor) enqueue(m netsim.Message) {
+	seq := seqOf(m.Payload)
+	if seq != rx.expect[m.From] {
+		buf := rx.reorder[m.From]
+		if buf == nil {
+			buf = make(map[uint32]any)
+			rx.reorder[m.From] = buf
+		}
+		buf[seq] = m.Payload
+		return
+	}
+	rx.ingest(m.From, m.Payload)
+	rx.expect[m.From]++
+	for buf := rx.reorder[m.From]; ; {
+		p, ok := buf[rx.expect[m.From]]
+		if !ok {
+			return
+		}
+		delete(buf, rx.expect[m.From])
+		rx.ingest(m.From, p)
+		rx.expect[m.From]++
+	}
+}
+
+func seqOf(payload any) uint32 {
+	switch p := payload.(type) {
+	case envelope:
+		return p.Seq
+	case marker:
+		return p.Seq
+	}
+	panic("allconcur: unknown payload type")
+}
+
+// flushNow sends the outbox as one envelope per successor (shared slice)
+// and clears it.
+func (rx *reactor) flushNow() {
+	rx.flushPending = false
+	if len(rx.outbox) == 0 {
+		return
+	}
+	items := rx.outbox
+	rx.outbox = nil
+	for k, s := range rx.succ {
+		rx.net.Send(rx.id, s, envelope{Seq: rx.sendSeq[k], Items: items})
+		rx.sendSeq[k]++
+	}
+}
+
+// complete reports whether every origin is accounted for: delivered, or
+// provably undeliverable (excludable). The crash-free fast path never
+// walks a closure.
+func (rx *reactor) complete() bool {
+	if rx.delivered == len(rx.received) {
+		return true
+	}
+	for q := range rx.received {
+		if !rx.received[q] && !rx.excludable(model.ProcID(q)) {
+			return false
+		}
+	}
+	return true
+}
+
+// excludable resolves the suspect closure of missing origin q: every
+// process that may hold q's value undelivered must be known crashed, and
+// every channel out of one must be certified drained (FAIL received) or
+// lead to another member of the closure. Any live successor with an
+// uncertified channel means q's value may still be in flight.
+func (rx *reactor) excludable(q model.ProcID) bool {
+	inC := map[model.ProcID]bool{q: true}
+	stack := []model.ProcID{q}
+	for len(stack) > 0 {
+		f := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		drained := rx.fails[f]
+		if len(drained) == 0 {
+			return false // f not known crashed: its value may simply be slow
+		}
+		for _, s := range rx.g.Succ(f) {
+			if drained[s] {
+				continue // s certified the f→s drain without surfacing q's value
+			}
+			if len(rx.fails[s]) > 0 {
+				if !inC[s] {
+					inC[s] = true
+					stack = append(stack, s)
+				}
+				continue // s crashed too: chase what s may have forwarded
+			}
+			return false // s is live and f→s is not certified drained yet
+		}
+	}
+	return true
+}
+
+// React runs one invocation: first-invocation setup (flood own value, arm
+// the crash), FIFO-ordered ingestion of every deliverable message, the
+// termination check (with its mandatory final flush), and outbox flush
+// scheduling.
+func (rx *reactor) React(aborted bool) bool {
+	if rx.done {
+		return true
+	}
+	if aborted {
+		return rx.finish(sim.StatusBlocked, "")
+	}
+	if !rx.started {
+		rx.started = true
+		if rx.victim {
+			if rx.crashAt <= 0 {
+				return rx.crash() // dies before proposing anything
+			}
+			rx.h.WakeAfter(rx.crashAt)
+		}
+		rx.deliver(rx.id, rx.value)
+		rx.outbox = append(rx.outbox, item{Kind: itemVal, Origin: rx.id, Value: rx.value})
+		rx.flushNow() // own value leaves immediately, never batched
+	}
+	if rx.victim && rx.h.Now() >= rx.crashAt {
+		return rx.crash()
+	}
+	for {
+		m, ok, _ := rx.net.ReceiveNow(rx.id)
+		if !ok {
+			break
+		}
+		rx.enqueue(m)
+	}
+	if rx.complete() {
+		rx.flushNow() // mandatory: successors may still need this news
+		rx.ctr.ObserveRound(1)
+		return rx.finish(sim.StatusDecided, rx.minValue)
+	}
+	if rx.flushPending && rx.h.Now() >= rx.flushAt {
+		rx.flushNow()
+	}
+	if len(rx.outbox) > 0 && !rx.flushPending {
+		rx.flushPending = true
+		rx.flushAt = rx.h.Now() + rx.flushDelay
+		rx.h.WakeAfter(rx.flushDelay)
+	}
+	return false
+}
+
+// Run executes one atomic-broadcast instance and returns per-process
+// outcomes.
+func Run(cfg Config) (*Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: need at least two processes, have %d", ErrBadConfig, cfg.N)
+	}
+	if len(cfg.Proposals) != cfg.N {
+		return nil, fmt.Errorf("%w: %d proposals for %d processes", ErrBadConfig, len(cfg.Proposals), cfg.N)
+	}
+	if cfg.Engine != sim.EngineVirtual {
+		return nil, fmt.Errorf("%w: allconcur is an inline handler protocol; it runs only on the virtual engine", ErrBadConfig)
+	}
+	if cfg.Body == sim.BodyCoroutine {
+		return nil, fmt.Errorf("%w: allconcur has no coroutine body form", ErrBadConfig)
+	}
+	if err := cfg.Crashes.ValidateFor(cfg.N); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	if cfg.Crashes.HasStepPoints() {
+		return nil, fmt.Errorf("%w: allconcur honors only timed crash plans", ErrBadConfig)
+	}
+	g, err := cfg.Spec.Build(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	flushDelay := cfg.FlushDelay
+	if flushDelay <= 0 {
+		flushDelay = DefaultFlushDelay
+	}
+	crashAt := make(map[model.ProcID]time.Duration, 2)
+	for _, tc := range cfg.Crashes.Timed() {
+		crashAt[tc.P] = tc.At
+	}
+
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	procs := make([]ProcResult, cfg.N)
+	dcfg := driver.Config{
+		Engine:         cfg.Engine,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
+		Complexity:     sim.StepsLinear,
+		// Crashes stay out of the driver config on purpose: a driver crash
+		// closes the victim's inbox at the instant, but the tombstone
+		// protocol needs the victim to emit its markers itself.
+	}
+	newNet := driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x93d1_4af2_0e67_b85c, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
+	out, err := driver.RunHandlers(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) driver.Reactor {
+		id := model.ProcID(i)
+		at, victim := crashAt[id]
+		preds := g.Pred(id)
+		rx := &reactor{
+			id:         id,
+			h:          h,
+			net:        nw,
+			ctr:        &ctr,
+			g:          g,
+			succ:       g.Succ(id),
+			value:      cfg.Proposals[i],
+			store:      &procs[i],
+			victim:     victim,
+			crashAt:    at,
+			sendSeq:    make([]uint32, len(g.Succ(id))),
+			expect:     make(map[model.ProcID]uint32, len(preds)),
+			reorder:    make(map[model.ProcID]map[uint32]any, len(preds)),
+			received:   make([]bool, cfg.N),
+			fails:      make(map[model.ProcID]map[model.ProcID]bool),
+			flushDelay: flushDelay,
+		}
+		return rx
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Procs: procs, Metrics: ctr.Read()}
+	res.Elapsed = out.Elapsed
+	res.VirtualTime = out.VirtualTime
+	res.Steps = out.Steps
+	res.Quiesced = out.Quiesced
+	res.DeadlineExceeded = out.DeadlineExceeded
+	res.StepsExceeded = out.StepsExceeded
+	res.Sched = out.Sched
+	return res, nil
+}

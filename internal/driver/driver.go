@@ -77,11 +77,18 @@ type Config struct {
 	MaxVirtualTime time.Duration
 	// MaxSteps bounds the number of scheduler events of an EngineVirtual
 	// run — the deterministic guard against executions that never converge.
-	// Zero derives the bound from the topology size
-	// (sim.DefaultMaxStepsFor: the flat floor below, growing ~Θ(n²) so
-	// legitimate large-n runs fit); negative means unbounded. Explicit
-	// positive values are authoritative.
+	// Zero derives the bound from the topology size and the protocol's
+	// declared step complexity (sim.DefaultMaxStepsHint: ~Θ(n²) for
+	// all-to-all protocols, ~8192·n for sparse-overlay ones); negative
+	// means unbounded. Explicit positive values are authoritative.
 	MaxSteps int64
+	// Complexity is the protocol's step-complexity hint (declared in the
+	// registry as Info.SubQuadratic), consulted only when MaxSteps is
+	// zero: sim.StepsQuadratic (the zero value) keeps the 24·n² default;
+	// sim.StepsLinear shapes the default as O(n) so a sparse protocol at
+	// n=100k is not granted a 240-billion-step budget before the
+	// runaway guard fires.
+	Complexity sim.StepComplexity
 	// Workers is the virtual engine's expansion-pool width: how many
 	// threads expand broadcast fanouts inside one run (sharded timer
 	// wheels, vclock.WithShards). It is pure mechanism — the observable
@@ -254,6 +261,27 @@ func (h *Handle) Killed() bool { return h.killed.Load() }
 // receives observe the scheduler's abort instead.
 func (h *Handle) Done() <-chan struct{} { return h.done }
 
+// WakeAfter schedules a wake of this process's reactor d from now — the
+// handler body's substitute for Sleep: where a coroutine suspends, a
+// reactor schedules its future work as an event and returns, then
+// observes Now() at the next invocation to see whether its deadline has
+// passed. Multiple pending wakes coalesce like message deliveries do (a
+// reactor is invoked once per Wake, and a wake of a finished process is
+// a no-op), so timers racing a decision are harmless. Virtual engine
+// only: reactors exist only there, and a realtime Handle has no clock.
+func (h *Handle) WakeAfter(d time.Duration) {
+	if h.clock == nil {
+		panic("driver: WakeAfter requires the virtual engine")
+	}
+	if d < 0 {
+		d = 0
+	}
+	// Resolve h.proc at fire time, not capture time: a reactor built by
+	// HandlerBody may schedule its first timer before RunHandlers has
+	// bound the spawned Proc back onto the Handle.
+	h.clock.At(h.clock.Now()+vclock.Time(d), func() { h.proc.Wake() })
+}
+
 // Sleep suspends the calling body for d: virtual time under the virtual
 // engine (zero wall-clock cost), wall-clock time under the realtime
 // engine. It returns false when the run was aborted before the full
@@ -361,17 +389,18 @@ func RunHandlers(cfg Config, n int, newNet NewNetFunc, mk HandlerBody) (Outcome,
 func newVirtualClock(cfg Config, n int) *vclock.Scheduler {
 	return vclock.New(
 		vclock.WithDeadline(vclock.Time(cfg.MaxVirtualTime)),
-		vclock.WithMaxSteps(resolveMaxSteps(cfg.MaxSteps, n)),
+		vclock.WithMaxSteps(resolveMaxSteps(cfg.MaxSteps, n, cfg.Complexity)),
 		vclock.WithShards(vclock.ShardsFor(n), resolveWorkers(cfg.Workers)),
 	)
 }
 
 // resolveMaxSteps maps the Config.MaxSteps convention onto the scheduler's:
-// zero derives the budget from the topology size, negative means unbounded
-// (vclock: 0), explicit positive values pass through.
-func resolveMaxSteps(maxSteps int64, n int) int64 {
+// zero derives the budget from the topology size and complexity hint,
+// negative means unbounded (vclock: 0), explicit positive values pass
+// through.
+func resolveMaxSteps(maxSteps int64, n int, c sim.StepComplexity) int64 {
 	if maxSteps == 0 {
-		return sim.DefaultMaxStepsFor(n)
+		return sim.DefaultMaxStepsHint(n, c)
 	}
 	if maxSteps < 0 {
 		return 0 // vclock: 0 = unbounded

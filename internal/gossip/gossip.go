@@ -1,0 +1,338 @@
+// Package gossip implements round-based epidemic rumor dissemination over
+// a sparse overlay digraph (internal/overlay) — the first member of the
+// sub-quadratic protocol family: msgs/round is Θ(n·d) against the hybrid
+// model's Θ(n²).
+//
+// The protocol computes the OR of the binary proposals: a process
+// proposing 1 starts infected with the rumor; every round, infected
+// processes push the rumor to their d overlay successors (push mode),
+// susceptible processes ask their successors for it (pull mode — an
+// infected recipient answers directly), or both (push&pull, the default).
+// After a fixed round budget every live process decides its local bit:
+// 1 if the rumor reached it, 0 otherwise. Validity is the OR's: "1" is
+// decided only when somebody proposed 1, and a unanimous-0 run decides 0.
+//
+// Unlike classic gossip analyses (uniform random peer per round), the
+// overlay is STATIC, which buys a deterministic guarantee: in push mode
+// the rumor crosses every overlay edge out of an infected process each
+// round, so after diam(G) rounds every process reachable from an infected
+// one holds the rumor (pull is symmetric along the transpose digraph, and
+// a de Bruijn / circulant transpose has the same diameter bound). The
+// round budget derived from the overlay spec (4·DiameterBound + 24
+// rounds, overridable) therefore makes agreement deterministic whenever
+// the live subgraph stays strongly connected — which the overlay's vertex
+// connectivity guarantees for up to Kappa−1 crashes (DESIGN.md §13). With
+// a random-view overlay the same budget is a with-high-probability
+// figure, not a guarantee.
+//
+// The implementation is an inline handler reactor from day one
+// (driver.RunHandlers): no goroutines, no coroutine port — rounds are
+// Handle.WakeAfter timer ticks, inbox drains are batched, and every send
+// is a per-recipient netsim.Send along an overlay edge (never SendAll).
+// The protocol registers as "gossip" with the overlay-topology and
+// sub-quadratic capability flags; being handler-only it is VirtualOnly.
+package gossip
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"allforone/internal/driver"
+	"allforone/internal/failures"
+	"allforone/internal/metrics"
+	"allforone/internal/model"
+	"allforone/internal/netsim"
+	"allforone/internal/overlay"
+	"allforone/internal/sim"
+)
+
+// Mode selects the dissemination direction.
+type Mode int
+
+// The three gossip modes.
+const (
+	// ModePushPull (the default): infected processes push, susceptible
+	// processes pull — the classic O(log n)-phase combination.
+	ModePushPull Mode = iota
+	// ModePush: only infected processes send.
+	ModePush
+	// ModePull: only susceptible processes ask; infected ones answer.
+	ModePull
+)
+
+// String names the mode (the registry's algorithm-variant names).
+func (m Mode) String() string {
+	switch m {
+	case ModePushPull:
+		return "pushpull"
+	case ModePush:
+		return "push"
+	case ModePull:
+		return "pull"
+	}
+	return fmt.Sprintf("Mode(%d)", int(m))
+}
+
+// ParseMode resolves an algorithm-variant name; empty means ModePushPull.
+func ParseMode(name string) (Mode, error) {
+	switch name {
+	case "", "pushpull", "push-pull":
+		return ModePushPull, nil
+	case "push":
+		return ModePush, nil
+	case "pull":
+		return ModePull, nil
+	}
+	return 0, fmt.Errorf("gossip: unknown mode %q (want push, pull, or pushpull)", name)
+}
+
+// DefaultRoundLen is the virtual duration of one gossip round. It
+// comfortably exceeds the repository's profile delays (≤ ~400µs transit
+// outside healing partitions), so a round's sends normally arrive within
+// a couple of rounds; the budget's slack absorbs the rest.
+const DefaultRoundLen = 250 * time.Microsecond
+
+// Config describes one gossip dissemination run.
+type Config struct {
+	// N is the number of processes (required, ≥ 2).
+	N int
+	// Proposals holds each process's binary input (required, length N);
+	// the run computes — and every live process decides — their OR.
+	Proposals []model.Value
+	// Spec is the overlay digraph to disseminate over (required).
+	Spec overlay.Spec
+	// Mode selects push, pull, or push&pull (the zero value).
+	Mode Mode
+	// Seed makes all randomness reproducible (network delays, random
+	// overlay views).
+	Seed int64
+	// Rounds caps the round budget: 0 keeps the overlay-derived default
+	// (4·DiameterBound + 24); a positive value lower than the default
+	// replaces it (the Bounds.MaxRounds cap semantics — a budget too
+	// small for the diameter can break agreement, exactly like aborting
+	// any protocol early).
+	Rounds int
+	// RoundLen is the virtual duration of one round; 0 = DefaultRoundLen.
+	RoundLen time.Duration
+	// Engine must be sim.EngineVirtual (the zero value): gossip is an
+	// inline handler reactor with no coroutine port.
+	Engine sim.Engine
+	// Body must not be sim.BodyCoroutine (same reason).
+	Body sim.BodyKind
+	// Crashes is the timed (virtual-instant) crash pattern; nil is
+	// crash-free. Step-point plans are rejected — a reactor has no
+	// benor-style stage points.
+	Crashes *failures.Schedule
+	// MaxVirtualTime / MaxSteps / Workers are the usual driver bounds;
+	// MaxSteps 0 derives the sparse default (sim.StepsLinear).
+	MaxVirtualTime time.Duration
+	MaxSteps       int64
+	Workers        int
+	// MinDelay/MaxDelay bound uniform random message transit time.
+	MinDelay, MaxDelay time.Duration
+	// NetOptions appends extra network options (e.g. a compiled
+	// NetworkProfile delay policy); a delay function here overrides
+	// MinDelay/MaxDelay.
+	NetOptions []netsim.Option
+}
+
+// ErrBadConfig reports an invalid configuration.
+var ErrBadConfig = errors.New("gossip: invalid configuration")
+
+// defaultRounds derives the round budget from the built overlay: enough
+// ticks for the rumor to cross the graph several times over plus slack
+// for crash instants and profile delays (heal profiles hold messages for
+// ~1ms ≈ 4 rounds).
+func defaultRounds(g *overlay.Graph) int {
+	return 4*g.DiameterBound() + 24
+}
+
+// rumorMsg is the infection: a push, or the answer to a pull.
+type rumorMsg struct{}
+
+// pullMsg asks the recipient to answer with the rumor if it holds it.
+type pullMsg struct{}
+
+// reactor is one process's gossip state machine (driver.Reactor).
+type reactor struct {
+	id    model.ProcID
+	h     *driver.Handle
+	net   *netsim.Network
+	ctr   *metrics.Counters
+	succ  []model.ProcID
+	mode  Mode
+	store *sim.ProcResult // this process's result slot
+
+	infected bool
+	rounds   int           // budget R
+	roundLen time.Duration // tick period
+	round    int           // rounds processed so far
+	tickAt   time.Duration // next tick instant
+	started  bool
+	done     bool
+}
+
+// finish records the outcome and retires the reactor.
+func (rx *reactor) finish(st sim.Status, val model.Value) bool {
+	res := sim.ProcResult{Status: st, Round: rx.round}
+	if st == sim.StatusDecided {
+		res.Decision = val
+	}
+	*rx.store = res
+	rx.done = true
+	return true
+}
+
+// React runs one invocation: drain deliverable messages, honor a timed
+// crash, then process any due round ticks (send, and decide at budget
+// end). Gossip never blocks on messages — the only scheduled future is
+// the tick chain, so the run can never quiesce before the budget.
+func (rx *reactor) React(aborted bool) bool {
+	if rx.done {
+		return true
+	}
+	if !rx.started {
+		rx.started = true
+		rx.tickAt = rx.roundLen
+		rx.h.WakeAfter(rx.roundLen)
+	}
+	if aborted {
+		if rx.h.Killed() {
+			return rx.finish(sim.StatusCrashed, model.Bot)
+		}
+		return rx.finish(sim.StatusBlocked, model.Bot)
+	}
+	for {
+		m, ok, _ := rx.net.ReceiveNow(rx.id)
+		if !ok {
+			break
+		}
+		switch m.Payload.(type) {
+		case rumorMsg:
+			rx.infected = true
+		case pullMsg:
+			if rx.infected {
+				rx.net.Send(rx.id, m.From, rumorMsg{})
+			}
+		}
+	}
+	if rx.h.Killed() {
+		return rx.finish(sim.StatusCrashed, model.Bot)
+	}
+	// Process every due tick (a message delivery landing past tickAt may
+	// reach here before the tick's own wake; the wake then arrives
+	// spurious, which is harmless).
+	ticked := false
+	for rx.h.Now() >= rx.tickAt {
+		ticked = true
+		rx.round++
+		if rx.round >= rx.rounds {
+			rx.ctr.ObserveRound(int64(rx.round))
+			if rx.infected {
+				return rx.finish(sim.StatusDecided, model.One)
+			}
+			return rx.finish(sim.StatusDecided, model.Zero)
+		}
+		rx.sendRound()
+		rx.tickAt += rx.roundLen
+	}
+	if ticked {
+		rx.h.WakeAfter(rx.tickAt - rx.h.Now())
+	}
+	return false
+}
+
+// sendRound emits this round's messages along the overlay edges —
+// per-recipient sends, never a broadcast.
+func (rx *reactor) sendRound() {
+	if rx.infected {
+		if rx.mode == ModePush || rx.mode == ModePushPull {
+			for _, s := range rx.succ {
+				rx.net.Send(rx.id, s, rumorMsg{})
+			}
+		}
+		return
+	}
+	if rx.mode == ModePull || rx.mode == ModePushPull {
+		for _, s := range rx.succ {
+			rx.net.Send(rx.id, s, pullMsg{})
+		}
+	}
+}
+
+// Run executes one gossip dissemination instance and returns per-process
+// outcomes.
+func Run(cfg Config) (*sim.Result, error) {
+	if cfg.N < 2 {
+		return nil, fmt.Errorf("%w: need at least two processes, have %d", ErrBadConfig, cfg.N)
+	}
+	if len(cfg.Proposals) != cfg.N {
+		return nil, fmt.Errorf("%w: %d proposals for %d processes", ErrBadConfig, len(cfg.Proposals), cfg.N)
+	}
+	for i, v := range cfg.Proposals {
+		if !v.IsBinary() {
+			return nil, fmt.Errorf("%w: proposal of %v is %v", ErrBadConfig, model.ProcID(i), v)
+		}
+	}
+	switch cfg.Mode {
+	case ModePush, ModePull, ModePushPull:
+	default:
+		return nil, fmt.Errorf("%w: unknown mode %d", ErrBadConfig, int(cfg.Mode))
+	}
+	if cfg.Engine != sim.EngineVirtual {
+		return nil, fmt.Errorf("%w: gossip is an inline handler protocol; it runs only on the virtual engine", ErrBadConfig)
+	}
+	if cfg.Body == sim.BodyCoroutine {
+		return nil, fmt.Errorf("%w: gossip has no coroutine body form", ErrBadConfig)
+	}
+	if cfg.Crashes.HasStepPoints() {
+		return nil, fmt.Errorf("%w: gossip honors only timed crash plans", ErrBadConfig)
+	}
+	g, err := cfg.Spec.Build(cfg.N, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
+	rounds := defaultRounds(g)
+	if cfg.Rounds > 0 && cfg.Rounds < rounds {
+		rounds = cfg.Rounds
+	}
+	roundLen := cfg.RoundLen
+	if roundLen <= 0 {
+		roundLen = DefaultRoundLen
+	}
+
+	var ctr metrics.Counters
+	var nw *netsim.Network
+	procs := make([]sim.ProcResult, cfg.N)
+	dcfg := driver.Config{
+		Engine:         cfg.Engine,
+		MaxVirtualTime: cfg.MaxVirtualTime,
+		MaxSteps:       cfg.MaxSteps,
+		Workers:        cfg.Workers,
+		Crashes:        cfg.Crashes,
+		Complexity:     sim.StepsLinear,
+	}
+	newNet := driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x5ab3_02e9_cc41_7d16, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
+	out, err := driver.RunHandlers(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) driver.Reactor {
+		id := model.ProcID(i)
+		return &reactor{
+			id:       id,
+			h:        h,
+			net:      nw,
+			ctr:      &ctr,
+			succ:     g.Succ(id),
+			mode:     cfg.Mode,
+			store:    &procs[i],
+			infected: cfg.Proposals[i] == model.One,
+			rounds:   rounds,
+			roundLen: roundLen,
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &sim.Result{Procs: procs, Metrics: ctr.Read(), Elapsed: out.Elapsed}
+	out.Fill(res)
+	return res, nil
+}

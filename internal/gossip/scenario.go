@@ -1,0 +1,56 @@
+package gossip
+
+import (
+	"allforone/internal/protocol"
+)
+
+// ProtocolName is the registry name of the gossip disseminator.
+const ProtocolName = "gossip"
+
+func init() {
+	protocol.MustRegister(protocol.New(protocol.Info{
+		Name:         ProtocolName,
+		Description:  "epidemic OR-dissemination over a sparse overlay digraph (Θ(n·d) msgs/round)",
+		Proposals:    protocol.ProposalsBinary,
+		HasNetwork:   true,
+		TimedCrashes: true,
+		NeedsOverlay: true,
+		SubQuadratic: true,
+		VirtualOnly:  true,
+		Algorithms:   []string{"pushpull", "push", "pull"},
+	}, runScenario))
+}
+
+func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
+	n, err := sc.Topology.Procs()
+	if err != nil {
+		return nil, err
+	}
+	netOpts, err := sc.NetOptions(n, sc.Topology.Partition)
+	if err != nil {
+		return nil, err
+	}
+	mode, err := ParseMode(sc.Algorithm)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(Config{
+		N:              n,
+		Proposals:      sc.Workload.Binary,
+		Spec:           *sc.Topology.Overlay,
+		Mode:           mode,
+		Seed:           sc.Seed,
+		Rounds:         sc.Bounds.MaxRounds,
+		Engine:         sc.Engine,
+		Body:           sc.Body,
+		Crashes:        sc.Faults,
+		MaxVirtualTime: sc.Bounds.MaxVirtualTime,
+		MaxSteps:       sc.Bounds.MaxSteps,
+		Workers:        sc.Workers,
+		NetOptions:     netOpts,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return protocol.BinaryOutcome(ProtocolName, res), nil
+}

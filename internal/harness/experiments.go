@@ -19,8 +19,10 @@ import (
 
 // ExperimentIDs lists the experiment identifiers in run order. E1…E8
 // reproduce the paper's figures and quantitative claims; E9 validates the
-// extension stack; A1 is the ablation study of DESIGN.md §6.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "A1"}
+// extension stack; E10 contrasts the sparse-overlay protocol family's
+// msgs/round scaling against the dense hybrid baseline; A1 is the
+// ablation study of DESIGN.md §6.
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1"}
 
 // Run executes the experiment with the given id.
 func Run(id string, opts Options) (*Report, error) {
@@ -43,6 +45,8 @@ func Run(id string, opts Options) (*Report, error) {
 		return E8Indulgence(opts)
 	case "E9":
 		return E9ExtensionStack(opts)
+	case "E10":
+		return E10SparseOverlay(opts)
 	case "A1":
 		return A1Ablations(opts)
 	}

@@ -194,6 +194,39 @@ func TestE9ExtensionStack(t *testing.T) {
 	}
 }
 
+// TestE10SparseOverlay pins the tentpole claim of the sparse-overlay
+// family: at fixed degree, doubling n roughly doubles the per-round
+// message bill of gossip and allconcur (ratio ≈ 2), while the dense
+// hybrid baseline's bill quadruples (ratio ≈ 4). Both sparse ratios must
+// stay strictly under 4 and under whatever the hybrid measured.
+func TestE10SparseOverlay(t *testing.T) {
+	t.Parallel()
+	rep, err := E10SparseOverlay(Options{Trials: 3, SeedBase: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid := rep.Findings["hybrid/doubling_ratio"]
+	if hybrid < 3 {
+		t.Errorf("hybrid doubling ratio = %v, want ≈ 4 (quadratic baseline)", hybrid)
+	}
+	for _, proto := range []string{"gossip", "allconcur"} {
+		ratio := rep.Findings[proto+"/doubling_ratio"]
+		if ratio <= 0 {
+			t.Fatalf("%s doubling ratio missing from findings: %v", proto, rep.Findings)
+		}
+		if ratio >= 4 {
+			t.Errorf("%s doubling ratio = %v, want < 4 (sub-quadratic)", proto, ratio)
+		}
+		if ratio >= hybrid {
+			t.Errorf("%s doubling ratio = %v, not under the hybrid baseline %v", proto, ratio, hybrid)
+		}
+	}
+	// 3 protocols × 4 population sizes.
+	if got := rep.Table.Rows(); got != 12 {
+		t.Errorf("rows = %d, want 12", got)
+	}
+}
+
 func TestA1Ablations(t *testing.T) {
 	t.Parallel()
 	rep, err := A1Ablations(Options{Trials: 5, SeedBase: 7})

@@ -8,6 +8,7 @@ import (
 
 	"allforone/internal/metrics"
 	"allforone/internal/model"
+	"allforone/internal/overlay"
 	"allforone/internal/vclock"
 )
 
@@ -240,6 +241,89 @@ func TestVirtualSendAllSteadyStateAllocs(t *testing.T) {
 	}
 	if perRound := float64(allocs) / rounds; perRound > 1 {
 		t.Fatalf("steady-state SendAll allocates %.2f times per round, want ≤ 1", perRound)
+	}
+}
+
+// Per-recipient Send — the sparse-overlay protocols' only transmission
+// primitive — bypasses the sharded SendAll expansion machinery and rides
+// the network-global delivery pool. Warmed up, that path must also be
+// allocation-free per round: an overlay protocol at n·d sends per round
+// would otherwise pay n·d allocations where SendAll pays zero. n=256 with
+// a de Bruijn successor list reproduces the overlay fanout shape exactly
+// (ROADMAP item 2 tracks routing these bursts through the shard pool;
+// this test pins the baseline the bypass must not regress from).
+func TestVirtualOverlaySendSteadyStateAllocs(t *testing.T) {
+	const n = 256
+	g, err := overlay.Spec{Kind: overlay.KindDeBruijn, Degree: 4}.Build(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := g.Succ(0)
+	s := vclock.New()
+	nw, err := New(n, WithScheduler(s), WithSeed(11), WithUniformDelay(0, 50*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each successor echoes every delivery straight back — echoes are
+	// per-recipient Sends too, and consuming them below guarantees every
+	// delivery event of a round is back in the pool before the next round.
+	for _, p := range succ {
+		p := p
+		proc := s.Spawn("succ", func() {
+			for {
+				m, ok := nw.Receive(p, nil)
+				if !ok {
+					return
+				}
+				nw.Send(p, 0, m.Payload)
+			}
+		})
+		nw.Bind(p, proc)
+	}
+	const rounds = 400
+	// Zero-size payload, exactly what the gossip protocol sends: interface
+	// conversion is allocation-free, so any allocation measured below is
+	// the transport's own.
+	type rumor struct{}
+	payload := rumor{}
+	var allocs uint64
+	sender := s.Spawn("sender", func() {
+		round := func() {
+			for _, p := range succ {
+				nw.Send(0, p, payload)
+			}
+			for range succ {
+				if _, ok := nw.Receive(0, nil); !ok {
+					t.Error("sender lost an echo")
+				}
+			}
+		}
+		for r := 0; r < 20; r++ { // warm the delivery pool and inbox rings
+			round()
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for r := 0; r < rounds; r++ {
+			round()
+		}
+		runtime.ReadMemStats(&m1)
+		allocs = m1.Mallocs - m0.Mallocs
+		nw.CloseInbox(0)
+		for _, p := range succ {
+			nw.CloseInbox(p)
+		}
+	})
+	nw.Bind(0, sender)
+	if out := s.Run(); out.DeadlineExceeded || out.StepsExceeded {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	// Delivery events are pooled, so the only steady-state cost left is
+	// timer-wheel bucket growth under the scattered arrival instants —
+	// measured ≈0.2 per send. Pin well under 1: a regression to one
+	// allocation per send is what would hurt at n·d sends per round.
+	if perSend := float64(allocs) / (rounds * 2 * float64(len(succ))); perSend > 0.5 {
+		t.Fatalf("steady-state per-recipient Send allocates %.2f times per send (%d sends/round), want ≤ 0.5",
+			perSend, 2*len(succ))
 	}
 }
 

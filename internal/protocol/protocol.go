@@ -73,6 +73,22 @@ type Info struct {
 	NeedsPartition bool
 	// NeedsGraph: the protocol consumes Topology.MMEdges (the m&m model).
 	NeedsGraph bool
+	// NeedsOverlay: the protocol communicates on a sparse overlay digraph
+	// and requires Topology.Overlay (validated at build time via
+	// overlay.Spec.Validate). Scenarios without one — or whose spec does
+	// not fit the process count — are rejected with ErrBadScenario.
+	NeedsOverlay bool
+	// SubQuadratic: the protocol's event count is O(n·d·rounds), not
+	// Θ(n²) per round — the registry-level complexity hint. Adapters of
+	// sub-quadratic protocols pass sim.StepsLinear to the driver so the
+	// default MaxSteps budget is O(n)-shaped instead of 24·n²
+	// (sim.DefaultMaxStepsHint).
+	SubQuadratic bool
+	// VirtualOnly: the protocol is written as inline handler reactors
+	// with no coroutine port, so it runs only on sim.EngineVirtual;
+	// realtime scenarios are rejected at build time instead of failing
+	// inside the driver.
+	VirtualOnly bool
 	// HasNetwork: the protocol exchanges messages, so Scenario.Profile
 	// applies. Scenarios with a profile are rejected for network-less
 	// protocols.

@@ -18,7 +18,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	t.Parallel()
-	want := []string{"benor", "hybrid", "mm", "mpcoin", "multivalued", "register", "shmem", "smr"}
+	want := []string{"allconcur", "benor", "gossip", "hybrid", "mm", "mpcoin", "multivalued", "register", "shmem", "smr"}
 	got := protocol.Names()
 	if len(got) != len(want) {
 		t.Fatalf("Names() = %v, want %v", got, want)

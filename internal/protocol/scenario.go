@@ -8,6 +8,7 @@ import (
 	"allforone/internal/failures"
 	"allforone/internal/model"
 	"allforone/internal/netsim"
+	"allforone/internal/overlay"
 	"allforone/internal/sim"
 	"allforone/internal/trace"
 )
@@ -75,6 +76,13 @@ type Topology struct {
 	// MMEdges is the undirected edge list inducing the m&m model's memory
 	// domains (0-based endpoints); consumed by NeedsGraph protocols.
 	MMEdges [][2]int
+	// Overlay is the sparse communication digraph spec consumed by
+	// NeedsOverlay protocols (gossip, allconcur): a deterministic
+	// d-regular family (de Bruijn, circulant) or seeded random
+	// peer-sampling views, built identically by every process from
+	// (spec, n, seed). Required — and validated at build time — when the
+	// protocol declares NeedsOverlay; ignored otherwise (like MMEdges).
+	Overlay *overlay.Spec
 }
 
 // Procs resolves the topology's process count: the partition's when one is
@@ -163,6 +171,17 @@ func (sc *Scenario) validate(info Info) error {
 	n, err := sc.Topology.Procs()
 	if err != nil {
 		return fmt.Errorf("protocol %q: %w", info.Name, err)
+	}
+	if info.NeedsOverlay {
+		if sc.Topology.Overlay == nil {
+			return fmt.Errorf("%w: protocol %q needs Topology.Overlay (a sparse digraph spec — overlay.Spec)", ErrBadScenario, info.Name)
+		}
+		if err := sc.Topology.Overlay.Validate(n); err != nil {
+			return fmt.Errorf("%w: protocol %q: %v", ErrBadScenario, info.Name, err)
+		}
+	}
+	if info.VirtualOnly && sc.Engine != sim.EngineVirtual {
+		return fmt.Errorf("%w: protocol %q runs only on the virtual engine (inline handler reactors have no realtime port)", ErrBadScenario, info.Name)
 	}
 	if err := sc.Faults.ValidateFor(n); err != nil {
 		return fmt.Errorf("%w: %v", ErrBadScenario, err)

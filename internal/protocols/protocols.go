@@ -11,8 +11,10 @@
 package protocols
 
 import (
+	_ "allforone/internal/allconcur"
 	_ "allforone/internal/benor"
 	_ "allforone/internal/core"
+	_ "allforone/internal/gossip"
 	_ "allforone/internal/mm"
 	_ "allforone/internal/mpcoin"
 	_ "allforone/internal/multivalued"

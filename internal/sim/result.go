@@ -82,6 +82,39 @@ func DefaultMaxStepsFor(n int) int64 {
 	return q
 }
 
+// StepComplexity is a protocol's event-count shape, declared through the
+// registry (protocol.Info.SubQuadratic) and threaded to the engine driver
+// so the default step budget matches the protocol family: the 24·n²
+// default that keeps an all-to-all exchange honest is absurd for a
+// sparse-overlay protocol at n=100k (240 billion steps), where the real
+// event count is O(n·d·rounds).
+type StepComplexity int
+
+const (
+	// StepsQuadratic (the zero value): all-to-all message exchange,
+	// Θ(n²) events per round — the classic protocols. Default budget
+	// 24·n² (DefaultMaxStepsFor).
+	StepsQuadratic StepComplexity = iota
+	// StepsLinear: sparse-overlay protocols, O(n·d·rounds) events.
+	// Default budget 8192·n — linear in n with a per-process allowance
+	// generous for any d·rounds product in this repository, floored at
+	// DefaultMaxSteps so small-n runs keep the historical bound.
+	StepsLinear
+)
+
+// DefaultMaxStepsHint is DefaultMaxStepsFor with the protocol's declared
+// complexity: quadratic keeps the 24·n² default, linear gets 8192·n.
+func DefaultMaxStepsHint(n int, c StepComplexity) int64 {
+	if c == StepsLinear {
+		l := 8192 * int64(n)
+		if n <= 0 || l < DefaultMaxSteps {
+			return DefaultMaxSteps
+		}
+		return l
+	}
+	return DefaultMaxStepsFor(n)
+}
+
 // Status classifies how a process's propose() invocation ended.
 type Status int8
 

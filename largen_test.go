@@ -249,6 +249,135 @@ func TestE6MessageComplexityDoubling(t *testing.T) {
 	}
 }
 
+// TestGossipTenThousand runs the sparse-overlay dissemination protocol at
+// n=10,000 — the scale the overlay family exists for, where any all-to-all
+// protocol would move ~10⁸ messages per round. A single rumor source must
+// infect the whole population within the deterministic round budget
+// (4·diameter-bound + margin), the bill must stay Θ(n·d·R), and the run
+// must replay bit-for-bit.
+func TestGossipTenThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("gossip n=10k skipped in -short mode")
+	}
+	t.Parallel()
+	const n = 10_000
+	w := Workload{Binary: make([]Value, n)}
+	w.Binary[n/2] = One // a single rumor source, worst case for dissemination
+	sc := Scenario{
+		Protocol: ProtocolGossip,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Workload: w,
+		Profile:  UniformProfile(0, 200*time.Microsecond),
+		Seed:     1303,
+		Bounds:   Bounds{Timeout: 60 * time.Second},
+	}
+	start := time.Now()
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := first.CountStatus(StatusDecided); got != n {
+		t.Fatalf("decided %d of %d", got, n)
+	}
+	for p, pr := range first.Procs {
+		if pr.Decision != "1" {
+			t.Fatalf("proc %d decided %q, want 1 (rumor must reach everyone)", p, pr.Decision)
+		}
+	}
+	// Θ(n·d·R) bill: with d = DefaultOverlayDegree and the deterministic
+	// round budget this sits far below even ONE all-to-all round (n² = 10⁸).
+	if quad := int64(n) * int64(n); first.Metrics.MsgsSent >= quad {
+		t.Fatalf("MsgsSent = %d at n=10k — not sub-quadratic (n² = %d)", first.Metrics.MsgsSent, quad)
+	}
+	t.Logf("n=10k gossip: %d msgs, %d steps, %v virtual, %v wall", first.Metrics.MsgsSent, first.Steps, first.VirtualTime, elapsed)
+
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("n=10k replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
+	}
+}
+
+// TestAllConcurFourThousand runs the leaderless atomic broadcast at
+// n=4096 with a timed minority crash mid-dissemination: survivors must
+// all deliver the same set, agree on the smallest live origin's value,
+// and the envelope bill must stay sub-quadratic. Replay is bit-identical.
+func TestAllConcurFourThousand(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allconcur n=4096 skipped in -short mode")
+	}
+	t.Parallel()
+	const n = 4096
+	w := Workload{}
+	for i := 0; i < n; i++ {
+		w.Values = append(w.Values, fmt.Sprintf("v%d", i))
+	}
+	sched := NewSchedule(n)
+	// Two crashes 150µs in — after the victims flood their own value but
+	// before dissemination completes — exercise the tombstone-marker and
+	// FAIL-flooding machinery at scale. κ(de Bruijn, d=7) = 6 keeps the
+	// survivor subgraph strongly connected.
+	for _, p := range []ProcID{100, 2000} {
+		if err := sched.SetTimed(p, 150*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := Scenario{
+		Protocol: ProtocolAllConcur,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Workload: w,
+		Faults:   sched,
+		Profile:  UniformProfile(0, 200*time.Microsecond),
+		Seed:     1303,
+		Bounds:   Bounds{Timeout: 60 * time.Second},
+	}
+	start := time.Now()
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := first.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.CheckValidity(w.Values); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.CountStatus(StatusBlocked); got != 0 {
+		t.Fatalf("%d blocked processes (overlay κ covers the crash set; nobody may block)", got)
+	}
+	if !first.AllLiveDecided() {
+		t.Fatalf("live processes unfinished: decided %d, crashed %d of %d",
+			first.CountStatus(StatusDecided), first.CountStatus(StatusCrashed), n)
+	}
+	for p, pr := range first.Procs {
+		if pr.Status == StatusDecided && pr.Decision != "v0" {
+			t.Fatalf("proc %d decided %q, want v0 (smallest live origin)", p, pr.Decision)
+		}
+	}
+	if quad := int64(n) * int64(n); first.Metrics.MsgsSent >= quad {
+		t.Fatalf("MsgsSent = %d at n=4096 — not sub-quadratic (n² = %d)", first.Metrics.MsgsSent, quad)
+	}
+	t.Logf("n=4096 allconcur: %d msgs, %d steps, %v virtual, %v wall", first.Metrics.MsgsSent, first.Steps, first.VirtualTime, elapsed)
+
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("n=4096 replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
+	}
+}
+
 // TestLargeNDifferentialAndReplay is the n=128 matrix: {hybrid, benor} ×
 // {skew matrix, healing partition} × {virtual twice (bit-repro), realtime
 // once (differential safety)}.

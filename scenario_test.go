@@ -87,6 +87,14 @@ func mmRing(n int) [][2]int {
 	return edges
 }
 
+// diffOverlay returns the overlay spec injected for NeedsOverlay protocols:
+// a circulant digraph of degree 3, whose vertex connectivity κ = 3 covers
+// the matrix's two timed crashes (the overlay package pins by test that
+// every 2-subset removal leaves it strongly connected).
+func diffOverlay() *OverlaySpec {
+	return &OverlaySpec{Kind: OverlayCirculant, Degree: 3}
+}
+
 // checkDiffOutcome applies the per-kind safety and liveness checks.
 func checkDiffOutcome(t *testing.T, info ProtocolInfo, sc Scenario, out *Outcome) {
 	t.Helper()
@@ -151,6 +159,12 @@ func TestRegistryDifferential(t *testing.T) {
 						if eng == EngineRealtime && prof.name == "heal" {
 							continue
 						}
+						// Inline handler reactors have no realtime port; the
+						// registry rejects the combination (covered by
+						// TestRunRejectsBadScenarios).
+						if eng == EngineRealtime && info.VirtualOnly {
+							continue
+						}
 						name := fmt.Sprintf("%s/%s/%v", prof.name, faults.name, eng)
 						sc := Scenario{
 							Protocol: info.Name,
@@ -164,6 +178,9 @@ func TestRegistryDifferential(t *testing.T) {
 						}
 						if info.NeedsGraph {
 							sc.Topology.MMEdges = mmRing(n)
+						}
+						if info.NeedsOverlay {
+							sc.Topology.Overlay = diffOverlay()
 						}
 						out, err := Run(sc)
 						if err != nil {
@@ -209,6 +226,9 @@ func TestScenarioReplayBitReproducible(t *testing.T) {
 			}
 			if info.NeedsGraph {
 				sc.Topology.MMEdges = mmRing(n)
+			}
+			if info.NeedsOverlay {
+				sc.Topology.Overlay = diffOverlay()
 			}
 			first, err := Run(sc)
 			if err != nil {
@@ -272,6 +292,18 @@ func TestRunRejectsBadScenarios(t *testing.T) {
 		{"trace on untraceable protocol", func(sc *Scenario) {
 			sc.Protocol = ProtocolBenOr
 			sc.Trace = NewTrace()
+		}},
+		{"gossip without overlay", func(sc *Scenario) {
+			sc.Protocol = ProtocolGossip
+		}},
+		{"overlay spec too dense for n", func(sc *Scenario) {
+			sc.Protocol = ProtocolAllConcur
+			sc.Topology.Overlay = &OverlaySpec{Kind: OverlayDeBruijn, Degree: 7} // n = 7 allows at most d = 6
+		}},
+		{"virtual-only protocol on the realtime engine", func(sc *Scenario) {
+			sc.Protocol = ProtocolGossip
+			sc.Topology.Overlay = diffOverlay()
+			sc.Engine = EngineRealtime
 		}},
 	}
 	for _, tc := range cases {
