@@ -144,8 +144,8 @@ func TestRunExperimentFacade(t *testing.T) {
 	if rep.ID != "E5" || rep.Table == nil {
 		t.Errorf("report = %+v", rep)
 	}
-	if len(ExperimentIDs) != 11 {
-		t.Errorf("ExperimentIDs = %v, want 11 entries (E1..E10 + A1)", ExperimentIDs)
+	if len(ExperimentIDs) != 12 {
+		t.Errorf("ExperimentIDs = %v, want 12 entries (E1..E10 + E10D + A1)", ExperimentIDs)
 	}
 	if _, err := RunExperiment("nope", ExperimentOptions{}); err == nil {
 		t.Error("unknown experiment accepted")

@@ -115,7 +115,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("hybridbench", flag.ContinueOnError)
 	var (
-		exps      = fs.String("exp", "all", "comma-separated experiment ids (E1..E10, A1) or 'all'")
+		exps      = fs.String("exp", "all", "comma-separated experiment ids (E1..E10, E10D, A1) or 'all'")
 		trials    = fs.Int("trials", 100, "trials per table cell")
 		trialsMin = fs.Int("trials-min", 1, "repeat each experiment this many times and report the median-timed repetition (damps wall-clock noise in BENCH snapshots)")
 		seed      = fs.Int64("seed", 1, "seed base (experiments) / search seed (-search)")

@@ -171,6 +171,117 @@ type marker struct {
 	Seq uint32
 }
 
+// interval is one maximal run [lo, hi) of delivered origin ids.
+type interval struct{ lo, hi uint32 }
+
+// intervalSet tracks the delivered origins as sorted disjoint half-open
+// intervals. Flood delivery is clustered — crash-free the set collapses
+// to the single interval [0, n) — so it stays a handful of entries where
+// the previous per-origin bool slice cost n bytes per reactor (n² total:
+// the memory wall that blocked n≥16k runs).
+type intervalSet struct {
+	iv    []interval
+	count int
+}
+
+// Count returns the number of ids in the set.
+func (s *intervalSet) Count() int { return s.count }
+
+// Contains reports whether q is in the set.
+func (s *intervalSet) Contains(q uint32) bool {
+	lo, hi := 0, len(s.iv)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.iv[mid].hi > q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	return lo < len(s.iv) && s.iv[lo].lo <= q
+}
+
+// Add inserts q, coalescing with its neighbors; it reports whether q was
+// absent.
+func (s *intervalSet) Add(q uint32) bool {
+	// First interval with hi > q; everything before it ends at or below q.
+	lo, hi := 0, len(s.iv)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.iv[mid].hi > q {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	i := lo
+	if i < len(s.iv) && s.iv[i].lo <= q {
+		return false
+	}
+	s.count++
+	joinPrev := i > 0 && s.iv[i-1].hi == q
+	joinNext := i < len(s.iv) && s.iv[i].lo == q+1
+	switch {
+	case joinPrev && joinNext:
+		s.iv[i-1].hi = s.iv[i].hi
+		s.iv = append(s.iv[:i], s.iv[i+1:]...)
+	case joinPrev:
+		s.iv[i-1].hi = q + 1
+	case joinNext:
+		s.iv[i].lo = q
+	default:
+		s.iv = append(s.iv, interval{})
+		copy(s.iv[i+1:], s.iv[i:])
+		s.iv[i] = interval{lo: q, hi: q + 1}
+	}
+	return true
+}
+
+// EachMissing calls fn for every id in [0, n) absent from the set, in
+// ascending order, stopping at the first rejection; it reports whether fn
+// accepted every gap.
+func (s *intervalSet) EachMissing(n uint32, fn func(uint32) bool) bool {
+	next := uint32(0)
+	for _, iv := range s.iv {
+		for q := next; q < iv.lo; q++ {
+			if !fn(q) {
+				return false
+			}
+		}
+		next = iv.hi
+	}
+	for q := next; q < n; q++ {
+		if !fn(q) {
+			return false
+		}
+	}
+	return true
+}
+
+// failCert is one crashed process's certificate set: bit k set means
+// FAIL(f, Succ(f)[k]) is held. The entry's existence alone marks f known
+// crashed.
+type failCert struct {
+	bits []uint64
+}
+
+func (c *failCert) has(k int) bool { return c.bits[k>>6]&(1<<(k&63)) != 0 }
+
+func (c *failCert) add(k int) bool {
+	if c.has(k) {
+		return false
+	}
+	c.bits[k>>6] |= 1 << (k & 63)
+	return true
+}
+
+// heldPayload is one out-of-order arrival parked until its link sequence
+// comes due.
+type heldPayload struct {
+	seq     uint32
+	payload any
+}
+
 // reactor is one process's state machine (driver.Reactor).
 type reactor struct {
 	id    model.ProcID
@@ -179,6 +290,7 @@ type reactor struct {
 	ctr   *metrics.Counters
 	g     *overlay.Graph
 	succ  []model.ProcID
+	preds []model.ProcID
 	value string
 	store *ProcResult
 
@@ -186,17 +298,18 @@ type reactor struct {
 	victim  bool
 	crashAt time.Duration
 
-	// per-link FIFO restoration
-	sendSeq []uint32                        // next seq per successor (succ order)
-	expect  map[model.ProcID]uint32         // next expected seq per predecessor
-	reorder map[model.ProcID]map[uint32]any // early arrivals per predecessor
-	// delivered set
-	received  []bool
-	delivered int
+	// per-link FIFO restoration — flat slices indexed by successor /
+	// predecessor position, carved from per-run pooled backing arrays
+	sendSeq []uint32        // next seq per successor (succ order)
+	expect  []uint32        // next expected seq per predecessor (pred order)
+	reorder [][]heldPayload // early arrivals per predecessor (pred order)
+	// delivered set as sorted disjoint id intervals
+	delivered intervalSet
 	minOrigin model.ProcID // smallest delivered origin (decision candidate)
 	minValue  string
-	// crash certificates: fails[f][s] = FAIL(f,s) held; len>0 ⇒ f known crashed
-	fails map[model.ProcID]map[model.ProcID]bool
+	// crash certificates: fails[f] non-nil ⇒ f known crashed; bit k set ⇒
+	// FAIL(f, Succ(f)[k]) held (lazily allocated — nil map crash-free)
+	fails map[model.ProcID]*failCert
 	// outbox batching
 	outbox       []item
 	flushPending bool
@@ -204,47 +317,62 @@ type reactor struct {
 	flushDelay   time.Duration
 
 	started bool
+	decided bool
 	done    bool
 }
 
 func (rx *reactor) finish(st sim.Status, decision string) bool {
-	*rx.store = ProcResult{Status: st, Decision: decision, Delivered: rx.delivered}
+	*rx.store = ProcResult{Status: st, Decision: decision, Delivered: rx.delivered.Count()}
 	rx.done = true
 	return true
 }
 
-// crash emits the tombstone markers (sequenced after everything already
-// flushed) and halts. The unflushed outbox dies with the process — the
-// exclusion rule soundly counts its items as never forwarded.
-func (rx *reactor) crash() bool {
+// emitMarkers sends the tombstone on every outgoing link, sequenced after
+// everything already flushed.
+func (rx *reactor) emitMarkers() {
 	for k, s := range rx.succ {
 		rx.net.Send(rx.id, s, marker{Seq: rx.sendSeq[k]})
 		rx.sendSeq[k]++
 	}
+}
+
+// crash emits the tombstone markers and halts. The unflushed outbox dies
+// with the process — the exclusion rule soundly counts its items as never
+// forwarded.
+func (rx *reactor) crash() bool {
+	rx.emitMarkers()
 	return rx.finish(sim.StatusCrashed, "")
 }
 
-// deliver records origin q's value into the delivered set.
-func (rx *reactor) deliver(q model.ProcID, val string) {
-	rx.received[q] = true
-	rx.delivered++
-	if rx.delivered == 1 || q < rx.minOrigin {
+// deliver records origin q's value into the delivered set; it reports
+// whether q was new.
+func (rx *reactor) deliver(q model.ProcID, val string) bool {
+	if !rx.delivered.Add(uint32(q)) {
+		return false
+	}
+	if rx.delivered.Count() == 1 || q < rx.minOrigin {
 		rx.minOrigin, rx.minValue = q, val
 	}
+	return true
 }
 
 // markFail records FAIL(f, s); it reports whether the certificate is new.
 func (rx *reactor) markFail(f, s model.ProcID) bool {
-	m := rx.fails[f]
-	if m == nil {
-		m = make(map[model.ProcID]bool)
-		rx.fails[f] = m
+	if rx.fails == nil {
+		rx.fails = make(map[model.ProcID]*failCert)
 	}
-	if m[s] {
-		return false
+	succ := rx.g.Succ(f)
+	c := rx.fails[f]
+	if c == nil {
+		c = &failCert{bits: make([]uint64, (len(succ)+63)/64)}
+		rx.fails[f] = c
 	}
-	m[s] = true
-	return true
+	for k, q := range succ {
+		if q == s {
+			return c.add(k)
+		}
+	}
+	return false // s not a successor of f: malformed, never flooded
 }
 
 // ingest processes one in-order payload from predecessor from: deliver and
@@ -256,8 +384,7 @@ func (rx *reactor) ingest(from model.ProcID, payload any) {
 		for _, it := range p.Items {
 			switch it.Kind {
 			case itemVal:
-				if !rx.received[it.Origin] {
-					rx.deliver(it.Origin, it.Value)
+				if rx.deliver(it.Origin, it.Value) {
 					rx.outbox = append(rx.outbox, it)
 				}
 			case itemFail:
@@ -275,31 +402,49 @@ func (rx *reactor) ingest(from model.ProcID, payload any) {
 	}
 }
 
+// predIndex resolves a sender to its position in the ascending
+// predecessor list (linear scan: d stays single-digit in every overlay
+// this package targets).
+func (rx *reactor) predIndex(p model.ProcID) int {
+	for i, q := range rx.preds {
+		if q == p {
+			return i
+		}
+	}
+	panic("allconcur: message from a non-predecessor")
+}
+
 // enqueue restores per-link FIFO: process the payload if it is the next
 // expected sequence number on its link, then drain any buffered
-// continuation; buffer it otherwise.
+// continuation; park it otherwise.
 func (rx *reactor) enqueue(m netsim.Message) {
+	pi := rx.predIndex(m.From)
 	seq := seqOf(m.Payload)
-	if seq != rx.expect[m.From] {
-		buf := rx.reorder[m.From]
-		if buf == nil {
-			buf = make(map[uint32]any)
-			rx.reorder[m.From] = buf
-		}
-		buf[seq] = m.Payload
+	if seq != rx.expect[pi] {
+		rx.reorder[pi] = append(rx.reorder[pi], heldPayload{seq: seq, payload: m.Payload})
 		return
 	}
 	rx.ingest(m.From, m.Payload)
-	rx.expect[m.From]++
-	for buf := rx.reorder[m.From]; ; {
-		p, ok := buf[rx.expect[m.From]]
-		if !ok {
-			return
+	rx.expect[pi]++
+	buf := rx.reorder[pi]
+	for drained := true; drained; {
+		drained = false
+		for i := range buf {
+			if buf[i].seq != rx.expect[pi] {
+				continue
+			}
+			p := buf[i].payload
+			last := len(buf) - 1
+			buf[i] = buf[last]
+			buf[last] = heldPayload{} // drop the payload reference
+			buf = buf[:last]
+			rx.ingest(m.From, p)
+			rx.expect[pi]++
+			drained = true
+			break
 		}
-		delete(buf, rx.expect[m.From])
-		rx.ingest(m.From, p)
-		rx.expect[m.From]++
 	}
+	rx.reorder[pi] = buf
 }
 
 func seqOf(payload any) uint32 {
@@ -329,17 +474,16 @@ func (rx *reactor) flushNow() {
 
 // complete reports whether every origin is accounted for: delivered, or
 // provably undeliverable (excludable). The crash-free fast path never
-// walks a closure.
+// walks a closure, and the interval set hands back only the gaps — the
+// old per-origin scan was Θ(n) per invocation.
 func (rx *reactor) complete() bool {
-	if rx.delivered == len(rx.received) {
+	n := rx.g.N()
+	if rx.delivered.Count() == n {
 		return true
 	}
-	for q := range rx.received {
-		if !rx.received[q] && !rx.excludable(model.ProcID(q)) {
-			return false
-		}
-	}
-	return true
+	return rx.delivered.EachMissing(uint32(n), func(q uint32) bool {
+		return rx.excludable(model.ProcID(q))
+	})
 }
 
 // excludable resolves the suspect closure of missing origin q: every
@@ -354,14 +498,14 @@ func (rx *reactor) excludable(q model.ProcID) bool {
 		f := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		drained := rx.fails[f]
-		if len(drained) == 0 {
+		if drained == nil {
 			return false // f not known crashed: its value may simply be slow
 		}
-		for _, s := range rx.g.Succ(f) {
-			if drained[s] {
+		for k, s := range rx.g.Succ(f) {
+			if drained.has(k) {
 				continue // s certified the f→s drain without surfacing q's value
 			}
-			if len(rx.fails[s]) > 0 {
+			if rx.fails[s] != nil {
 				if !inC[s] {
 					inC[s] = true
 					stack = append(stack, s)
@@ -378,11 +522,24 @@ func (rx *reactor) excludable(q model.ProcID) bool {
 // the crash), FIFO-ordered ingestion of every deliverable message, the
 // termination check (with its mandatory final flush), and outbox flush
 // scheduling.
+//
+// Deciding does NOT retire the reactor. A retired reactor's inbox closes,
+// so a victim's tombstone marker landing at an already-decided successor
+// s would silently vanish — FAIL(victim, s) would never exist and any
+// process still missing the victim's value could block forever despite
+// crashes < κ(G). Instead the decision is recorded once and the reactor
+// stays in a relay-only mode — draining its inbox and re-flooding novel
+// news — until the run quiesces (the final aborted invocation retires it
+// with the recorded result intact).
 func (rx *reactor) React(aborted bool) bool {
 	if rx.done {
 		return true
 	}
 	if aborted {
+		if rx.decided {
+			rx.done = true // quiescence: the relay-only tail is over
+			return true
+		}
 		return rx.finish(sim.StatusBlocked, "")
 	}
 	if !rx.started {
@@ -398,6 +555,14 @@ func (rx *reactor) React(aborted bool) bool {
 		rx.flushNow() // own value leaves immediately, never batched
 	}
 	if rx.victim && rx.h.Now() >= rx.crashAt {
+		if rx.decided {
+			// Crashing after deciding: still emit the tombstones so each
+			// successor certifies the drain, but keep the recorded decision —
+			// the crash merely ends the relay-only tail.
+			rx.emitMarkers()
+			rx.done = true
+			return true
+		}
 		return rx.crash()
 	}
 	for {
@@ -407,10 +572,12 @@ func (rx *reactor) React(aborted bool) bool {
 		}
 		rx.enqueue(m)
 	}
-	if rx.complete() {
+	if !rx.decided && rx.complete() {
 		rx.flushNow() // mandatory: successors may still need this news
 		rx.ctr.ObserveRound(1)
-		return rx.finish(sim.StatusDecided, rx.minValue)
+		*rx.store = ProcResult{Status: sim.StatusDecided, Decision: rx.minValue, Delivered: rx.delivered.Count()}
+		rx.decided = true
+		return false
 	}
 	if rx.flushPending && rx.h.Now() >= rx.flushAt {
 		rx.flushNow()
@@ -471,29 +638,41 @@ func Run(cfg Config) (*Result, error) {
 		// protocol needs the victim to emit its markers itself.
 	}
 	newNet := driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x93d1_4af2_0e67_b85c, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
+	// All reactor hot state comes from three pooled backing arrays (the
+	// reactors themselves, 2·|E| link sequence counters, |E| reorder-buffer
+	// headers) — per-process map and slice allocations previously dominated
+	// setup and resident memory at n≥16k.
+	rxs := make([]reactor, cfg.N)
+	seqPool := make([]uint32, 2*g.Edges())
+	bufPool := make([][]heldPayload, g.Edges())
 	out, err := driver.RunHandlers(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) driver.Reactor {
 		id := model.ProcID(i)
 		at, victim := crashAt[id]
-		preds := g.Pred(id)
-		rx := &reactor{
+		succ, preds := g.Succ(id), g.Pred(id)
+		sendSeq := seqPool[:len(succ):len(succ)]
+		seqPool = seqPool[len(succ):]
+		expect := seqPool[:len(preds):len(preds)]
+		seqPool = seqPool[len(preds):]
+		reorder := bufPool[:len(preds):len(preds)]
+		bufPool = bufPool[len(preds):]
+		rxs[i] = reactor{
 			id:         id,
 			h:          h,
 			net:        nw,
 			ctr:        &ctr,
 			g:          g,
-			succ:       g.Succ(id),
+			succ:       succ,
+			preds:      preds,
 			value:      cfg.Proposals[i],
 			store:      &procs[i],
 			victim:     victim,
 			crashAt:    at,
-			sendSeq:    make([]uint32, len(g.Succ(id))),
-			expect:     make(map[model.ProcID]uint32, len(preds)),
-			reorder:    make(map[model.ProcID]map[uint32]any, len(preds)),
-			received:   make([]bool, cfg.N),
-			fails:      make(map[model.ProcID]map[model.ProcID]bool),
+			sendSeq:    sendSeq,
+			expect:     expect,
+			reorder:    reorder,
 			flushDelay: flushDelay,
 		}
-		return rx
+		return &rxs[i]
 	})
 	if err != nil {
 		return nil, err

@@ -18,12 +18,18 @@
 // round, so after diam(G) rounds every process reachable from an infected
 // one holds the rumor (pull is symmetric along the transpose digraph, and
 // a de Bruijn / circulant transpose has the same diameter bound). The
-// round budget derived from the overlay spec (4·DiameterBound + 24
-// rounds, overridable) therefore makes agreement deterministic whenever
-// the live subgraph stays strongly connected — which the overlay's vertex
-// connectivity guarantees for up to Kappa−1 crashes (DESIGN.md §13). With
-// a random-view overlay the same budget is a with-high-probability
-// figure, not a guarantee.
+// round budget follows from a push-phase analysis of that static overlay
+// (budgetRounds): advancing the infection frontier one hop costs at most
+// one tick wait plus one message transit — two transits in pull mode
+// (request, then answer) — so when the maximum transit is known
+// (Config.MaxTransit, derived from the network profile by the Scenario
+// layer), DiameterBound·hopRounds ticks plus fixed slack provably
+// complete dissemination; a crash schedule doubles the diameter term
+// because removing up to Kappa−1 vertices keeps the live subgraph
+// strongly connected but can stretch its diameter. With an unknown
+// transit bound the legacy conservative budget (4·DiameterBound + 24)
+// applies, and the derived budget never exceeds it. With a random-view
+// overlay every figure is with-high-probability, not a guarantee.
 //
 // The implementation is an inline handler reactor from day one
 // (driver.RunHandlers): no goroutines, no coroutine port — rounds are
@@ -108,13 +114,21 @@ type Config struct {
 	// overlay views).
 	Seed int64
 	// Rounds caps the round budget: 0 keeps the overlay-derived default
-	// (4·DiameterBound + 24); a positive value lower than the default
-	// replaces it (the Bounds.MaxRounds cap semantics — a budget too
-	// small for the diameter can break agreement, exactly like aborting
-	// any protocol early).
+	// (budgetRounds — hop-cost analysis when MaxTransit is known,
+	// 4·DiameterBound + 24 otherwise); a positive value lower than the
+	// default replaces it (the Bounds.MaxRounds cap semantics — a budget
+	// too small for the diameter can break agreement, exactly like
+	// aborting any protocol early).
 	Rounds int
 	// RoundLen is the virtual duration of one round; 0 = DefaultRoundLen.
 	RoundLen time.Duration
+	// MaxTransit is an upper bound on any single message's transit delay,
+	// used to size the round budget (the Scenario layer derives it from
+	// the network profile via protocol.TransitBound). Zero means: derive
+	// the bound from MaxDelay when no NetOptions delay policy is
+	// installed, otherwise treat the transit as unknown and keep the
+	// legacy conservative budget.
+	MaxTransit time.Duration
 	// Engine must be sim.EngineVirtual (the zero value): gossip is an
 	// inline handler reactor with no coroutine port.
 	Engine sim.Engine
@@ -140,12 +154,44 @@ type Config struct {
 // ErrBadConfig reports an invalid configuration.
 var ErrBadConfig = errors.New("gossip: invalid configuration")
 
-// defaultRounds derives the round budget from the built overlay: enough
+// legacyRounds is the conservative pre-analysis round budget: enough
 // ticks for the rumor to cross the graph several times over plus slack
-// for crash instants and profile delays (heal profiles hold messages for
-// ~1ms ≈ 4 rounds).
-func defaultRounds(g *overlay.Graph) int {
+// for crash instants and arbitrary profile delays (heal profiles hold
+// messages for ~1ms ≈ 4 rounds). It is used whenever the transit bound
+// is unknown, and caps the derived budget otherwise.
+func legacyRounds(g *overlay.Graph) int {
 	return 4*g.DiameterBound() + 24
+}
+
+// budgetRounds derives the round budget by push-phase analysis of the
+// static overlay. One frontier hop costs at most a tick wait (the newly
+// infected process sends at its next tick) plus the transit of the
+// infecting message — two transits in pull mode, where a hop is a pull
+// request along the transpose edge plus the rumor answer — so with a
+// known transit bound, DiameterBound hops complete dissemination within
+// DiameterBound·hopRounds ticks; the fixed slack absorbs the first-tick
+// offset and stragglers. A crash schedule doubles the diameter term:
+// up to Kappa−1 removals keep the live subgraph strongly connected but
+// may stretch surviving paths. An unknown transit bound falls back to
+// legacyRounds, which also caps the derived figure.
+func budgetRounds(g *overlay.Graph, mode Mode, transit time.Duration, transitKnown bool, roundLen time.Duration, crashed bool) int {
+	legacy := legacyRounds(g)
+	if !transitKnown || roundLen <= 0 {
+		return legacy
+	}
+	per := transit
+	if mode == ModePull {
+		per *= 2
+	}
+	hop := 1 + int((per+roundLen-1)/roundLen)
+	diam := g.DiameterBound()
+	if crashed {
+		diam *= 2
+	}
+	if b := diam*hop + 12; b < legacy {
+		return b
+	}
+	return legacy
 }
 
 // rumorMsg is the infection: a push, or the answer to a pull.
@@ -184,8 +230,8 @@ func (rx *reactor) finish(st sim.Status, val model.Value) bool {
 	return true
 }
 
-// React runs one invocation: drain deliverable messages, honor a timed
-// crash, then process any due round ticks (send, and decide at budget
+// React runs one invocation: honor a timed crash, drain deliverable
+// messages, then process any due round ticks (send, and decide at budget
 // end). Gossip never blocks on messages — the only scheduled future is
 // the tick chain, so the run can never quiesce before the budget.
 func (rx *reactor) React(aborted bool) bool {
@@ -203,6 +249,12 @@ func (rx *reactor) React(aborted bool) bool {
 		}
 		return rx.finish(sim.StatusBlocked, model.Bot)
 	}
+	// The crash check comes BEFORE the inbox drain: a victim invoked at or
+	// after its crash instant must not answer a stale queued pull — sending
+	// rumorMsg from a dead process would violate the crash-stop model.
+	if rx.h.Killed() {
+		return rx.finish(sim.StatusCrashed, model.Bot)
+	}
 	for {
 		m, ok, _ := rx.net.ReceiveNow(rx.id)
 		if !ok {
@@ -216,9 +268,6 @@ func (rx *reactor) React(aborted bool) bool {
 				rx.net.Send(rx.id, m.From, rumorMsg{})
 			}
 		}
-	}
-	if rx.h.Killed() {
-		return rx.finish(sim.StatusCrashed, model.Bot)
 	}
 	// Process every due tick (a message delivery landing past tickAt may
 	// reach here before the tick's own wake; the wake then arrives
@@ -289,17 +338,26 @@ func Run(cfg Config) (*sim.Result, error) {
 	if cfg.Crashes.HasStepPoints() {
 		return nil, fmt.Errorf("%w: gossip honors only timed crash plans", ErrBadConfig)
 	}
+	if err := cfg.Crashes.ValidateFor(cfg.N); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
+	}
 	g, err := cfg.Spec.Build(cfg.N, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("%w: %v", ErrBadConfig, err)
 	}
-	rounds := defaultRounds(g)
-	if cfg.Rounds > 0 && cfg.Rounds < rounds {
-		rounds = cfg.Rounds
-	}
 	roundLen := cfg.RoundLen
 	if roundLen <= 0 {
 		roundLen = DefaultRoundLen
+	}
+	transit, transitKnown := cfg.MaxTransit, cfg.MaxTransit > 0
+	if !transitKnown && len(cfg.NetOptions) == 0 {
+		// No delay policy installed: transit is the uniform band's upper
+		// edge (0 = immediate delivery).
+		transit, transitKnown = cfg.MaxDelay, true
+	}
+	rounds := budgetRounds(g, cfg.Mode, transit, transitKnown, roundLen, cfg.Crashes.HasTimed())
+	if cfg.Rounds > 0 && cfg.Rounds < rounds {
+		rounds = cfg.Rounds
 	}
 
 	var ctr metrics.Counters
@@ -314,9 +372,12 @@ func Run(cfg Config) (*sim.Result, error) {
 		Complexity:     sim.StepsLinear,
 	}
 	newNet := driver.StandardNet(&nw, cfg.N, uint64(cfg.Seed)^0x5ab3_02e9_cc41_7d16, &ctr, cfg.MinDelay, cfg.MaxDelay, cfg.NetOptions...)
+	// One pooled allocation for all reactor state — at n=100k the
+	// per-reactor allocations otherwise dominate setup.
+	rxs := make([]reactor, cfg.N)
 	out, err := driver.RunHandlers(dcfg, cfg.N, newNet, func(i int, h *driver.Handle) driver.Reactor {
 		id := model.ProcID(i)
-		return &reactor{
+		rxs[i] = reactor{
 			id:       id,
 			h:        h,
 			net:      nw,
@@ -328,6 +389,7 @@ func Run(cfg Config) (*sim.Result, error) {
 			rounds:   rounds,
 			roundLen: roundLen,
 		}
+		return &rxs[i]
 	})
 	if err != nil {
 		return nil, err

@@ -169,8 +169,50 @@ func TestRoundsCapReplacesDefault(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if want := defaultRounds(g); res.Procs[0].Round != want {
+	want := budgetRounds(g, cfg.Mode, cfg.MaxDelay, true, DefaultRoundLen, false)
+	if res.Procs[0].Round != want {
 		t.Fatalf("proc 0 ended at round %d, want the default %d", res.Procs[0].Round, want)
+	}
+}
+
+// TestBudgetRoundsDerivation pins the push-phase budget analysis: a known
+// transit bound shrinks the budget below the legacy 4·D+24, pull mode
+// pays two transits per hop, a crash schedule doubles the diameter term,
+// and an unknown bound (or an absurd transit) falls back to — and never
+// exceeds — the legacy figure.
+func TestBudgetRoundsDerivation(t *testing.T) {
+	g, err := overlay.Spec{Kind: overlay.KindDeBruijn, Degree: 3}.Build(81, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := g.DiameterBound()
+	legacy := legacyRounds(g)
+	transit := 200 * time.Microsecond
+	rl := DefaultRoundLen // 250µs: one push transit fits in one extra tick
+
+	if got := budgetRounds(g, ModePushPull, transit, false, rl, false); got != legacy {
+		t.Fatalf("unknown transit: budget %d, want legacy %d", got, legacy)
+	}
+	push := budgetRounds(g, ModePushPull, transit, true, rl, false)
+	if want := 2*d + 12; push != want {
+		t.Fatalf("push&pull budget %d, want D·(1+⌈transit/roundLen⌉)+12 = %d", push, want)
+	}
+	if push >= legacy {
+		t.Fatalf("derived budget %d not below legacy %d", push, legacy)
+	}
+	pull := budgetRounds(g, ModePull, transit, true, rl, false)
+	if want := 3*d + 12; pull != want {
+		t.Fatalf("pull budget %d, want D·(1+⌈2·transit/roundLen⌉)+12 = %d", pull, want)
+	}
+	crashed := budgetRounds(g, ModePushPull, transit, true, rl, true)
+	if want := 4*d + 12; crashed != want {
+		t.Fatalf("crashed budget %d, want 2D·hop+12 = %d", crashed, want)
+	}
+	if got := budgetRounds(g, ModePushPull, time.Hour, true, rl, false); got != legacy {
+		t.Fatalf("huge transit: budget %d, want the legacy cap %d", got, legacy)
+	}
+	if got := budgetRounds(g, ModePushPull, 0, true, rl, false); got != d+12 {
+		t.Fatalf("immediate delivery: budget %d, want D+12 = %d", got, d+12)
 	}
 }
 
@@ -198,6 +240,13 @@ func TestRunRejectsBadConfigs(t *testing.T) {
 			c.Crashes = s
 		}},
 		{"bad overlay", func(c *Config) { c.Spec = overlay.Spec{Kind: overlay.KindDeBruijn, Degree: 1} }},
+		{"oversized crash schedule", func(c *Config) {
+			s := failures.NewSchedule(64)
+			if err := s.SetTimed(33, time.Millisecond); err != nil {
+				t.Fatal(err)
+			}
+			c.Crashes = s
+		}},
 	}
 	for _, tc := range cases {
 		cfg := good

@@ -1,6 +1,8 @@
 package gossip
 
 import (
+	"time"
+
 	"allforone/internal/protocol"
 )
 
@@ -17,7 +19,9 @@ func init() {
 		NeedsOverlay: true,
 		SubQuadratic: true,
 		VirtualOnly:  true,
-		Algorithms:   []string{"pushpull", "push", "pull"},
+		// The default mode last: the CLI renders the final entry as the
+		// "(default)" algorithm (same convention as the hybrid protocol).
+		Algorithms: []string{"push", "pull", "pushpull"},
 	}, runScenario))
 }
 
@@ -34,6 +38,12 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A known transit bound lets Run derive the tightened push-phase round
+	// budget; an unknown profile leaves MaxTransit 0 (legacy budget).
+	var maxTransit time.Duration
+	if t, known := protocol.TransitBound(sc.Profile, n); known {
+		maxTransit = t
+	}
 	res, err := Run(Config{
 		N:              n,
 		Proposals:      sc.Workload.Binary,
@@ -41,6 +51,7 @@ func runScenario(sc *protocol.Scenario) (*protocol.Outcome, error) {
 		Mode:           mode,
 		Seed:           sc.Seed,
 		Rounds:         sc.Bounds.MaxRounds,
+		MaxTransit:     maxTransit,
 		Engine:         sc.Engine,
 		Body:           sc.Body,
 		Crashes:        sc.Faults,

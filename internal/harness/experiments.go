@@ -20,9 +20,10 @@ import (
 // ExperimentIDs lists the experiment identifiers in run order. E1…E8
 // reproduce the paper's figures and quantitative claims; E9 validates the
 // extension stack; E10 contrasts the sparse-overlay protocol family's
-// msgs/round scaling against the dense hybrid baseline; A1 is the
+// msgs/round scaling against the dense hybrid baseline; E10D sweeps the
+// overlay degree at fixed n (diameter/κ/cost trade-off); A1 is the
 // ablation study of DESIGN.md §6.
-var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "A1"}
+var ExperimentIDs = []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9", "E10", "E10D", "A1"}
 
 // Run executes the experiment with the given id.
 func Run(id string, opts Options) (*Report, error) {
@@ -47,6 +48,8 @@ func Run(id string, opts Options) (*Report, error) {
 		return E9ExtensionStack(opts)
 	case "E10":
 		return E10SparseOverlay(opts)
+	case "E10D":
+		return E10DegreeSweep(opts)
 	case "A1":
 		return A1Ablations(opts)
 	}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -224,6 +225,45 @@ func TestE10SparseOverlay(t *testing.T) {
 	// 3 protocols × 4 population sizes.
 	if got := rep.Table.Rows(); got != 12 {
 		t.Errorf("rows = %d, want 12", got)
+	}
+}
+
+// TestE10DegreeSweep pins the trade-off the sweep exists to expose:
+// raising d shrinks the diameter bound and raises κ = d−1, at a growing
+// msgs/round cost for both sparse protocols.
+func TestE10DegreeSweep(t *testing.T) {
+	t.Parallel()
+	rep, err := E10DegreeSweep(Options{Trials: 3, SeedBase: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 sparse protocols × 5 degrees at fixed n.
+	if got := rep.Table.Rows(); got != 10 {
+		t.Errorf("rows = %d, want 10", got)
+	}
+	for _, d := range []int{3, 4, 6, 8, 12} {
+		for _, proto := range []string{"gossip", "allconcur"} {
+			key := fmt.Sprintf("sweep/%s/d=%d/msgs_per_round", proto, d)
+			if rep.Findings[key] <= 0 {
+				t.Errorf("degree-sweep finding %q missing or non-positive: %v", key, rep.Findings[key])
+			}
+		}
+		if rep.Findings[fmt.Sprintf("sweep/d=%d/kappa", d)] != float64(d-1) {
+			t.Errorf("sweep/d=%d/kappa = %v, want de Bruijn κ = d−1 = %d",
+				d, rep.Findings[fmt.Sprintf("sweep/d=%d/kappa", d)], d-1)
+		}
+	}
+	if rep.Findings["sweep/d=12/diameter_bound"] >= rep.Findings["sweep/d=3/diameter_bound"] {
+		t.Errorf("diameter bound did not shrink with degree: d=3 → %v, d=12 → %v",
+			rep.Findings["sweep/d=3/diameter_bound"], rep.Findings["sweep/d=12/diameter_bound"])
+	}
+	// msgs/round must grow with d for both protocols (linear-in-d cost).
+	for _, proto := range []string{"gossip", "allconcur"} {
+		lo := rep.Findings[fmt.Sprintf("sweep/%s/d=3/msgs_per_round", proto)]
+		hi := rep.Findings[fmt.Sprintf("sweep/%s/d=12/msgs_per_round", proto)]
+		if hi <= lo {
+			t.Errorf("%s msgs/round did not grow with degree: d=3 → %v, d=12 → %v", proto, lo, hi)
+		}
 	}
 }
 

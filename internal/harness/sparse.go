@@ -154,3 +154,113 @@ func E10SparseOverlay(opts Options) (*Report, error) {
 	rep.Table = tb
 	return rep, nil
 }
+
+// E10DegreeSweep holds n fixed and sweeps the overlay degree — d is the
+// sparse family's resilience knob: raising it shrinks the diameter bound
+// (fewer hops, a tighter gossip round budget) and raises the vertex
+// connectivity κ = d−1 (a bigger fault budget), while the per-round bill
+// grows linearly in d. The sweep quantifies that three-way trade-off for
+// both sparse protocols on one topology family. It is a separate
+// experiment from E10 so the perf trajectory in BENCH_*.json keeps E10's
+// cell composition comparable across snapshots.
+func E10DegreeSweep(opts Options) (*Report, error) {
+	opts = opts.withDefaults()
+	trials := opts.Trials
+	if trials > 10 {
+		trials = 10
+	}
+	const sweepN = 256
+
+	rep := &Report{
+		ID:       "E10D",
+		Title:    fmt.Sprintf("msgs/round vs overlay degree d at fixed n=%d (diameter and κ vs cost)", sweepN),
+		Findings: map[string]float64{},
+	}
+	tb := stats.NewTable("E10D: "+rep.Title,
+		"protocol", "d", "D≤", "κ", "msgs/round(mean)")
+
+	protos := []struct {
+		name  string
+		build func(n, trial int) protocol.Scenario
+		norm  func(out *protocol.Outcome) float64
+	}{
+		{
+			name: "gossip",
+			build: func(n, trial int) protocol.Scenario {
+				return protocol.Scenario{
+					Protocol: gossip.ProtocolName,
+					Topology: protocol.Topology{N: n},
+					Workload: protocol.Workload{Binary: proposalsFor("split", n, nil)},
+				}
+			},
+			norm: func(out *protocol.Outcome) float64 {
+				return float64(out.Metrics.MsgsSent) / float64(out.MaxDecisionRound())
+			},
+		},
+		{
+			name: "allconcur",
+			build: func(n, trial int) protocol.Scenario {
+				values := make([]string, n)
+				for i := range values {
+					values[i] = fmt.Sprintf("v%d", i)
+				}
+				return protocol.Scenario{
+					Protocol: allconcur.ProtocolName,
+					Topology: protocol.Topology{N: n},
+					Workload: protocol.Workload{Values: values},
+				}
+			},
+			norm: func(out *protocol.Outcome) float64 {
+				return float64(out.Metrics.MsgsSent) // one logical round
+			},
+		},
+	}
+
+	for _, d := range []int{3, 4, 6, 8, 12} {
+		spec := overlay.Spec{Kind: overlay.KindDeBruijn, Degree: d}
+		g, err := spec.Build(sweepN, 0)
+		if err != nil {
+			return nil, fmt.Errorf("harness: E10D d=%d: %w", d, err)
+		}
+		rep.Findings[fmt.Sprintf("sweep/d=%d/diameter_bound", d)] = float64(g.DiameterBound())
+		rep.Findings[fmt.Sprintf("sweep/d=%d/kappa", d)] = float64(g.Kappa())
+		for _, pr := range protos {
+			scs := make([]protocol.Scenario, trials)
+			for trial := range scs {
+				sc := pr.build(sweepN, trial)
+				sc.Topology.Overlay = &overlay.Spec{Kind: overlay.KindDeBruijn, Degree: d}
+				sc.Profile = protocol.Uniform(0, 200*time.Microsecond)
+				sc.Engine = opts.Engine
+				sc.Workers = opts.Workers
+				sc.Seed = opts.SeedBase + int64(d)*31337 + int64(trial)*271
+				if sc.Bounds.Timeout == 0 {
+					sc.Bounds.Timeout = opts.Timeout
+				}
+				scs[trial] = sc
+			}
+			outs, err := Sweep(scs, opts.workers())
+			if err != nil {
+				return nil, fmt.Errorf("harness: E10D %s d=%d: %w", pr.name, d, err)
+			}
+			var cells []float64
+			for trial, out := range outs {
+				rep.Perf.Observe(out)
+				if err := out.CheckAgreement(); err != nil {
+					return nil, fmt.Errorf("harness: E10D %s d=%d trial %d: %w", pr.name, d, trial, err)
+				}
+				if !out.AllLiveDecided() {
+					return nil, fmt.Errorf("harness: E10D %s d=%d trial %d: crash-free run did not decide", pr.name, d, trial)
+				}
+				cells = append(cells, pr.norm(out))
+			}
+			mean := meanOr(cells, 0)
+			tb.AddRowf(pr.name, d, g.DiameterBound(), g.Kappa(), mean)
+			rep.Findings[fmt.Sprintf("sweep/%s/d=%d/msgs_per_round", pr.name, d)] = mean
+		}
+	}
+
+	tb.AddNote("%d trials per cell, crash-free, uniform(0, 200µs) profile; de Bruijn family at n=%d", trials, sweepN)
+	tb.AddNote("d buys connectivity (κ = d−1) and a smaller diameter at a linear msgs/round cost")
+	rep.Table = tb
+	return rep, nil
+}

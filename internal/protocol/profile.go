@@ -268,6 +268,63 @@ func (h *healingPartitionProfile) Compile(n int, part *model.Partition) (netsim.
 }
 
 // ---------------------------------------------------------------------------
+// transit bounds
+
+// TransitBound returns an upper bound on any single message's transit
+// delay under profile p for an n-process topology, and whether the bound
+// is known. A nil profile is immediate delivery (bound 0). Protocols with
+// provable round budgets (gossip's push-phase analysis) use the bound to
+// size the budget; an unknown bound — a profile type this function does
+// not recognize — makes them fall back to their conservative legacy
+// budget, so unknown is always safe to return.
+func TransitBound(p NetworkProfile, n int) (time.Duration, bool) {
+	switch prof := p.(type) {
+	case nil:
+		return 0, true
+	case *uniformProfile:
+		if prof.max <= 0 {
+			return 0, true
+		}
+		return prof.max, true
+	case *skewMatrixProfile:
+		var max time.Duration
+		for _, row := range prof.delay {
+			for _, d := range row {
+				if d > max {
+					max = d
+				}
+			}
+		}
+		return max, true
+	case *distanceSkewProfile:
+		return prof.base + prof.step*time.Duration(n-1), true
+	case *clusterWANProfile:
+		max := prof.intraMax
+		inter := prof.interBase
+		for _, row := range prof.interMatrix {
+			for _, d := range row {
+				if d > inter {
+					inter = d
+				}
+			}
+		}
+		if b := inter + prof.jitter; b > max {
+			max = b
+		}
+		return max, true
+	case *healingPartitionProfile:
+		// A message sent the instant before the heal waits out the whole
+		// cut, then pays the base band.
+		base := prof.min
+		if prof.max > base {
+			base = prof.max
+		}
+		return prof.healAt + base, true
+	}
+	return 0, false
+}
+
+// ---------------------------------------------------------------------------
 // CLI spec parsing
 
 // ParseProfile resolves a compact profile spec, as accepted by the CLIs:

@@ -11,6 +11,7 @@ package allforone
 import (
 	"fmt"
 	"math/rand/v2"
+	"os"
 	"reflect"
 	"testing"
 	"time"
@@ -19,6 +20,21 @@ import (
 )
 
 const largeN = 128
+
+// requireXL gates the extra-large scale cells (n ≥ 100k gossip, n ≥ 8192
+// allconcur): each takes minutes of wall clock, which together would blow
+// through `go test`'s default 10-minute package timeout in the plain
+// tier-1 run. The large-n CI step opts in with ALLFORONE_XL=1 and a
+// widened -timeout; locally: ALLFORONE_XL=1 go test -timeout 60m -run ... .
+func requireXL(t *testing.T) {
+	t.Helper()
+	if testing.Short() {
+		t.Skip("extra-large scale cell skipped in -short mode")
+	}
+	if os.Getenv("ALLFORONE_XL") == "" {
+		t.Skip("extra-large scale cell: set ALLFORONE_XL=1 to run (large-n CI step)")
+	}
+}
 
 // largeNWorkload builds the binary proposals. The hybrid protocol gets
 // mixed proposals (its common coin still converges in a few rounds at
@@ -252,9 +268,9 @@ func TestE6MessageComplexityDoubling(t *testing.T) {
 // TestGossipTenThousand runs the sparse-overlay dissemination protocol at
 // n=10,000 — the scale the overlay family exists for, where any all-to-all
 // protocol would move ~10⁸ messages per round. A single rumor source must
-// infect the whole population within the deterministic round budget
-// (4·diameter-bound + margin), the bill must stay Θ(n·d·R), and the run
-// must replay bit-for-bit.
+// infect the whole population within the deterministic round budget (the
+// transit-derived push-phase figure), the bill must stay Θ(n·d·R), and
+// the run must replay bit-for-bit.
 func TestGossipTenThousand(t *testing.T) {
 	if testing.Short() {
 		t.Skip("gossip n=10k skipped in -short mode")
@@ -301,6 +317,200 @@ func TestGossipTenThousand(t *testing.T) {
 	}
 	if !reflect.DeepEqual(first, second) {
 		t.Fatalf("n=10k replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
+	}
+}
+
+// TestGossipHundredThousand is the paper-headline scale run: epidemic
+// dissemination at n=100,000, where one all-to-all round would move 10¹⁰
+// messages. The flattened reactor pool plus the transit-derived round
+// budget (push-phase analysis: ~half the legacy 4·D+24 budget at this
+// profile) keep the bill in the tens of millions. A single source must
+// still infect the entire population, and the run must replay
+// bit-for-bit.
+func TestGossipHundredThousand(t *testing.T) {
+	requireXL(t)
+	t.Parallel()
+	const n = 100_000
+	w := Workload{Binary: make([]Value, n)}
+	w.Binary[n/2] = One // a single rumor source, worst case for dissemination
+	sc := Scenario{
+		Protocol: ProtocolGossip,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Workload: w,
+		Profile:  UniformProfile(0, 200*time.Microsecond),
+		Seed:     1303,
+		Bounds:   Bounds{Timeout: 300 * time.Second},
+	}
+	start := time.Now()
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if got := first.CountStatus(StatusDecided); got != n {
+		t.Fatalf("decided %d of %d", got, n)
+	}
+	for p, pr := range first.Procs {
+		if pr.Decision != "1" {
+			t.Fatalf("proc %d decided %q, want 1 (rumor must reach everyone)", p, pr.Decision)
+		}
+	}
+	if quad := int64(n) * int64(n); first.Metrics.MsgsSent >= quad {
+		t.Fatalf("MsgsSent = %d at n=100k — not sub-quadratic (n² = %d)", first.Metrics.MsgsSent, quad)
+	}
+	t.Logf("n=100k gossip: %d msgs, %d steps, %v virtual, %v wall", first.Metrics.MsgsSent, first.Steps, first.VirtualTime, elapsed)
+
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("n=100k replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
+	}
+}
+
+// TestAllConcurSixteenThousand quadruples the atomic-broadcast scale gate:
+// n=16,384 with a timed minority crash mid-dissemination. This is the run
+// the interval-set delivered tracking exists for — per-origin bool slices
+// alone would cost n² bytes across reactors before any envelope traffic.
+func TestAllConcurSixteenThousand(t *testing.T) {
+	requireXL(t)
+	t.Parallel()
+	const n = 16_384
+	w := Workload{}
+	for i := 0; i < n; i++ {
+		w.Values = append(w.Values, fmt.Sprintf("v%d", i))
+	}
+	sched := NewSchedule(n)
+	// Two crashes 150µs in — after the victims flood their own value but
+	// before dissemination completes. κ(de Bruijn, d=7) = 6 keeps the
+	// survivor subgraph strongly connected.
+	for _, p := range []ProcID{100, 8000} {
+		if err := sched.SetTimed(p, 150*time.Microsecond); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sc := Scenario{
+		Protocol: ProtocolAllConcur,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Workload: w,
+		Faults:   sched,
+		Profile:  UniformProfile(0, 200*time.Microsecond),
+		Seed:     1303,
+		Bounds:   Bounds{Timeout: 300 * time.Second},
+	}
+	start := time.Now()
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := first.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if err := first.CheckValidity(w.Values); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.CountStatus(StatusBlocked); got != 0 {
+		t.Fatalf("%d blocked processes (overlay κ covers the crash set; nobody may block)", got)
+	}
+	if !first.AllLiveDecided() {
+		t.Fatalf("live processes unfinished: decided %d, crashed %d of %d",
+			first.CountStatus(StatusDecided), first.CountStatus(StatusCrashed), n)
+	}
+	for p, pr := range first.Procs {
+		if pr.Status == StatusDecided && pr.Decision != "v0" {
+			t.Fatalf("proc %d decided %q, want v0 (smallest live origin)", p, pr.Decision)
+		}
+	}
+	if quad := int64(n) * int64(n); first.Metrics.MsgsSent >= quad {
+		t.Fatalf("MsgsSent = %d at n=16384 — not sub-quadratic (n² = %d)", first.Metrics.MsgsSent, quad)
+	}
+	t.Logf("n=16384 allconcur: %d msgs, %d steps, %v virtual, %v wall", first.Metrics.MsgsSent, first.Steps, first.VirtualTime, elapsed)
+
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("n=16384 replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
+	}
+}
+
+// TestAllConcurCrashAtScale forces the suspect-closure exclusion path at
+// n=8192 (ROADMAP: the closure path had no test beyond n=4096). Process 0
+// crashes at t=0 — before proposing — so every survivor must resolve the
+// closure of origin 0 from FAIL(0,·) certificates and decide the
+// next-smallest origin's value; two more mid-flood crashes exercise the
+// marker/FAIL machinery concurrently.
+func TestAllConcurCrashAtScale(t *testing.T) {
+	requireXL(t)
+	t.Parallel()
+	const n = 8192
+	w := Workload{}
+	for i := 0; i < n; i++ {
+		w.Values = append(w.Values, fmt.Sprintf("v%d", i))
+	}
+	sched := NewSchedule(n)
+	if err := sched.SetTimed(0, 0); err != nil { // dies before proposing
+		t.Fatal(err)
+	}
+	if err := sched.SetTimed(1000, 150*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	if err := sched.SetTimed(4000, 300*time.Microsecond); err != nil {
+		t.Fatal(err)
+	}
+	sc := Scenario{
+		Protocol: ProtocolAllConcur,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Workload: w,
+		Faults:   sched,
+		Profile:  UniformProfile(0, 200*time.Microsecond),
+		Seed:     1303,
+		Bounds:   Bounds{Timeout: 300 * time.Second},
+	}
+	start := time.Now()
+	first, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	if err := first.CheckAgreement(); err != nil {
+		t.Fatal(err)
+	}
+	if got := first.CountStatus(StatusBlocked); got != 0 {
+		t.Fatalf("%d blocked processes (3 crashes < κ=6; nobody may block)", got)
+	}
+	if !first.AllLiveDecided() {
+		t.Fatalf("live processes unfinished: decided %d, crashed %d of %d",
+			first.CountStatus(StatusDecided), first.CountStatus(StatusCrashed), n)
+	}
+	for p, pr := range first.Procs {
+		// "v1", not "v0": every decider excluded origin 0 via the closure —
+		// the assertion that pins the exclusion path at scale.
+		if pr.Status == StatusDecided && pr.Decision != "v1" {
+			t.Fatalf("proc %d decided %q, want v1 (origin 0 must be closure-excluded)", p, pr.Decision)
+		}
+	}
+	t.Logf("n=8192 allconcur crash-at-scale: %d msgs, %d steps, %v virtual, %v wall",
+		first.Metrics.MsgsSent, first.Steps, first.VirtualTime, elapsed)
+
+	second, err := Run(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("n=8192 replay diverged:\n  first:  %+v\n  second: %+v", first.Procs[:4], second.Procs[:4])
 	}
 }
 
