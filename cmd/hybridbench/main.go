@@ -55,6 +55,12 @@ type jsonExperiment struct {
 	EventsScheduled int64   `json:"events_scheduled,omitempty"`
 	EventsPerSec    float64 `json:"events_per_sec,omitempty"`
 	AllocsPerRun    float64 `json:"allocs_per_run,omitempty"`
+	// BurstJobs / PooledPayloadBytes / MaxShardStage total the sealed
+	// per-recipient burst path's work across the experiment's trials
+	// (DESIGN.md §14); zero for experiments that only broadcast.
+	BurstJobs          int64 `json:"burst_jobs,omitempty"`
+	PooledPayloadBytes int64 `json:"pooled_payload_bytes,omitempty"`
+	MaxShardStage      int64 `json:"max_shard_stage,omitempty"`
 }
 
 // jsonFinding is the machine-readable form of an adversary finding: the
@@ -102,7 +108,11 @@ type jsonReport struct {
 	// identical at every width, only the throughput figures move.
 	Workers     int              `json:"workers,omitempty"`
 	Experiments []jsonExperiment `json:"experiments,omitempty"`
-	Search      *jsonSearch      `json:"search,omitempty"`
+	// WorkersSweep is the -workers-sweep scaling curve (sweep.go): wall
+	// figures per expansion-pool width, plus the cross-width equality
+	// verdict.
+	WorkersSweep *jsonSweep  `json:"workers_sweep,omitempty"`
+	Search       *jsonSearch `json:"search,omitempty"`
 }
 
 func main() {
@@ -124,6 +134,9 @@ func run(args []string, out io.Writer) error {
 		parallel  = fs.Int("parallel", 0, "worker pool size for independent trials/probes (0 = all CPUs)")
 		workers   = fs.Int("workers", 0, "expansion-pool width inside each virtual run (0 = all CPUs; the Outcome is identical at every width)")
 		asJSON    = fs.Bool("json", false, "emit machine-readable output instead of tables")
+
+		workersSweep = fs.Bool("workers-sweep", false, "run the multi-core scaling curve (W in 1,2,4,8) after the experiments and attach it to the report; combine with -exp none to run the sweep alone")
+		sweepN       = fs.Int("sweep-n", 4096, "-workers-sweep: process count of the sparse-overlay cells")
 
 		benchCompare = fs.Bool("bench-compare", false, "compare two BENCH_*.json snapshots (old.json new.json) and fail on a regression beyond -tolerance")
 		tolerance    = fs.Float64("tolerance", 0.25, "-bench-compare: maximum tolerated fractional regression per axis (0.25 = fail below 75% of the old figure)")
@@ -204,7 +217,11 @@ func run(args []string, out io.Writer) error {
 	}
 
 	ids := harness.ExperimentIDs
-	if *exps != "all" {
+	switch *exps {
+	case "all":
+	case "none":
+		ids = nil
+	default:
 		ids = nil
 		for _, id := range strings.Split(*exps, ",") {
 			ids = append(ids, strings.TrimSpace(strings.ToUpper(id)))
@@ -230,13 +247,16 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 			je := jsonExperiment{
-				ID:              rep.ID,
-				Title:           rep.Title,
-				Seconds:         m.seconds,
-				Findings:        rep.Findings,
-				Runs:            rep.Perf.Runs,
-				Steps:           rep.Perf.Steps,
-				EventsScheduled: rep.Perf.EventsScheduled,
+				ID:                 rep.ID,
+				Title:              rep.Title,
+				Seconds:            m.seconds,
+				Findings:           rep.Findings,
+				Runs:               rep.Perf.Runs,
+				Steps:              rep.Perf.Steps,
+				EventsScheduled:    rep.Perf.EventsScheduled,
+				BurstJobs:          rep.Perf.BurstJobs,
+				PooledPayloadBytes: rep.Perf.PooledPayloadBytes,
+				MaxShardStage:      rep.Perf.MaxShardStage,
 			}
 			if m.seconds > 0 {
 				je.EventsPerSec = float64(rep.Perf.Steps) / m.seconds
@@ -245,6 +265,13 @@ func run(args []string, out io.Writer) error {
 				je.AllocsPerRun = float64(m.mallocs) / float64(rep.Perf.Runs)
 			}
 			doc.Experiments = append(doc.Experiments, je)
+		}
+		if *workersSweep {
+			sw, err := runWorkersSweep(*sweepN)
+			if err != nil {
+				return err
+			}
+			doc.WorkersSweep = sw
 		}
 		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
@@ -268,6 +295,13 @@ func run(args []string, out io.Writer) error {
 				float64(m.mallocs)/float64(max(rep.Perf.Runs, 1)))
 		}
 		fmt.Fprintf(out, ")\n\n")
+	}
+	if *workersSweep {
+		sw, err := runWorkersSweep(*sweepN)
+		if err != nil {
+			return err
+		}
+		renderSweep(sw, out)
 	}
 	return nil
 }

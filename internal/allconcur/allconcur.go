@@ -64,6 +64,7 @@ import (
 	"errors"
 	"fmt"
 	"time"
+	"unsafe"
 
 	"allforone/internal/driver"
 	"allforone/internal/failures"
@@ -159,10 +160,37 @@ type item struct {
 
 // envelope is one flushed outbox: a per-link-sequenced batch of news
 // items, its slice shared by the d per-successor sends (never mutated
-// after flush).
+// after flush). On the wire it travels as a pooled *envelope built inside
+// the network's burst expansion job (envBuilder) — the recipient recycles
+// the envelope after ingesting it, so steady-state flushes allocate
+// nothing per successor; the value form is still accepted (tests and the
+// unsharded path may produce it).
 type envelope struct {
 	Seq   uint32
 	Items []item
+}
+
+// envBuilder is the netsim.BurstBuilder of the flush path: it assembles
+// one successor's envelope OFF the execution token, on the worker owning
+// the recipient's shard, from the shard's payload pool. ctx is the boxed
+// shared item batch (boxed once per flush, not once per successor) and arg
+// the link's sequence number.
+type envBuilder struct{}
+
+// envelopeBytes is what one pooled envelope contributes to the
+// PooledPayloadBytes stat: the envelope header itself (the item slice is
+// shared across the flush's d envelopes and counted by none of them).
+const envelopeBytes = int(unsafe.Sizeof(envelope{}))
+
+// BuildPayload implements netsim.BurstBuilder.
+func (envBuilder) BuildPayload(nw *netsim.Network, shard int, ctx any, arg uint64) (any, int) {
+	env, _ := nw.GrabPayload(shard).(*envelope)
+	if env == nil {
+		env = new(envelope)
+	}
+	env.Seq = uint32(arg)
+	env.Items = ctx.([]item)
+	return env, envelopeBytes
 }
 
 // marker is a crashing process's tombstone, sequenced like an envelope so
@@ -375,24 +403,35 @@ func (rx *reactor) markFail(f, s model.ProcID) bool {
 	return false // s not a successor of f: malformed, never flooded
 }
 
-// ingest processes one in-order payload from predecessor from: deliver and
-// re-flood novel values and crash certificates; turn a tombstone into this
-// process's own FAIL certificate.
-func (rx *reactor) ingest(from model.ProcID, payload any) {
-	switch p := payload.(type) {
-	case envelope:
-		for _, it := range p.Items {
-			switch it.Kind {
-			case itemVal:
-				if rx.deliver(it.Origin, it.Value) {
-					rx.outbox = append(rx.outbox, it)
-				}
-			case itemFail:
-				if rx.markFail(it.Origin, it.Detector) {
-					rx.outbox = append(rx.outbox, it)
-				}
+// ingestItems folds one envelope's news into the reactor's state.
+func (rx *reactor) ingestItems(items []item) {
+	for _, it := range items {
+		switch it.Kind {
+		case itemVal:
+			if rx.deliver(it.Origin, it.Value) {
+				rx.outbox = append(rx.outbox, it)
+			}
+		case itemFail:
+			if rx.markFail(it.Origin, it.Detector) {
+				rx.outbox = append(rx.outbox, it)
 			}
 		}
+	}
+}
+
+// ingest processes one in-order payload from predecessor from: deliver and
+// re-flood novel values and crash certificates; turn a tombstone into this
+// process's own FAIL certificate. Pooled envelopes are recycled into the
+// recipient's shard pool once consumed — this is the token-side half of
+// the off-token payload construction (envBuilder grabs, ingest recycles).
+func (rx *reactor) ingest(from model.ProcID, payload any) {
+	switch p := payload.(type) {
+	case *envelope:
+		rx.ingestItems(p.Items)
+		p.Items = nil
+		rx.net.RecyclePayload(rx.net.ShardOf(rx.id), p)
+	case envelope:
+		rx.ingestItems(p.Items)
 	case marker:
 		// from's channel to us is drained (FIFO: everything it sent before
 		// the tombstone was processed above this call). Certify it.
@@ -449,6 +488,8 @@ func (rx *reactor) enqueue(m netsim.Message) {
 
 func seqOf(payload any) uint32 {
 	switch p := payload.(type) {
+	case *envelope:
+		return p.Seq
 	case envelope:
 		return p.Seq
 	case marker:
@@ -457,8 +498,12 @@ func seqOf(payload any) uint32 {
 	panic("allconcur: unknown payload type")
 }
 
-// flushNow sends the outbox as one envelope per successor (shared slice)
-// and clears it.
+// flushNow sends the outbox as one envelope per successor (shared item
+// slice) and clears it. The handler only enqueues intent: the item batch
+// is boxed ONCE, each per-successor entry rides the network's burst path
+// (BurstSendVia), and envelope assembly — the per-successor header around
+// the shared slice — happens inside the expansion job, off the execution
+// token, from the recipient shard's payload pool.
 func (rx *reactor) flushNow() {
 	rx.flushPending = false
 	if len(rx.outbox) == 0 {
@@ -466,8 +511,9 @@ func (rx *reactor) flushNow() {
 	}
 	items := rx.outbox
 	rx.outbox = nil
+	var ctx any = items
 	for k, s := range rx.succ {
-		rx.net.Send(rx.id, s, envelope{Seq: rx.sendSeq[k], Items: items})
+		rx.net.BurstSendVia(rx.id, s, envBuilder{}, ctx, uint64(rx.sendSeq[k]))
 		rx.sendSeq[k]++
 	}
 }

@@ -42,11 +42,18 @@ func (s *lateVictimStub) React(aborted bool) bool {
 		if !ok {
 			break
 		}
-		env, isEnv := m.Payload.(envelope)
-		if !isEnv {
+		// Real reactors flush pooled *envelope payloads; accept the value
+		// form too (this stub sends it).
+		var items []item
+		switch env := m.Payload.(type) {
+		case *envelope:
+			items = env.Items
+		case envelope:
+			items = env.Items
+		default:
 			continue
 		}
-		for _, it := range env.Items {
+		for _, it := range items {
 			if it.Kind == itemFail && it.Origin == 0 {
 				*s.sawFail = true
 			}

@@ -265,7 +265,7 @@ func (rx *reactor) React(aborted bool) bool {
 			rx.infected = true
 		case pullMsg:
 			if rx.infected {
-				rx.net.Send(rx.id, m.From, rumorMsg{})
+				rx.net.BurstSend(rx.id, m.From, rumorMsg{})
 			}
 		}
 	}
@@ -293,19 +293,23 @@ func (rx *reactor) React(aborted bool) bool {
 }
 
 // sendRound emits this round's messages along the overlay edges —
-// per-recipient sends, never a broadcast.
+// per-recipient sends, never a broadcast. They ride the sharded burst
+// path: on a sharded engine every reactor ticking at this instant appends
+// into one expansion job, and the delay draws, delivery events, and wheel
+// insertions happen off the execution token (burst.go); on a small or
+// unsharded topology BurstSend degrades to a plain Send.
 func (rx *reactor) sendRound() {
 	if rx.infected {
 		if rx.mode == ModePush || rx.mode == ModePushPull {
 			for _, s := range rx.succ {
-				rx.net.Send(rx.id, s, rumorMsg{})
+				rx.net.BurstSend(rx.id, s, rumorMsg{})
 			}
 		}
 		return
 	}
 	if rx.mode == ModePull || rx.mode == ModePushPull {
 		for _, s := range rx.succ {
-			rx.net.Send(rx.id, s, pullMsg{})
+			rx.net.BurstSend(rx.id, s, pullMsg{})
 		}
 	}
 }

@@ -99,6 +99,14 @@ type Perf struct {
 	WheelCascades   int64
 	// MaxBucketDepth is the deepest timer-wheel bucket any trial observed.
 	MaxBucketDepth int64
+	// BurstJobs / PooledPayloadBytes total the sealed per-recipient burst
+	// path's work: deferred jobs submitted and payload bytes built
+	// off-token by protocol builders (DESIGN.md §14).
+	BurstJobs          int64
+	PooledPayloadBytes int64
+	// MaxShardStage is the deepest per-shard staging buffer any trial's
+	// flush observed — the burst-window depth analogue of MaxBucketDepth.
+	MaxShardStage int64
 }
 
 // Observe folds one run's engine work into the rollup.
@@ -110,6 +118,11 @@ func (p *Perf) Observe(out *protocol.Outcome) {
 	if out.Sched.MaxBucketDepth > p.MaxBucketDepth {
 		p.MaxBucketDepth = out.Sched.MaxBucketDepth
 	}
+	p.BurstJobs += out.Sched.BurstJobs
+	p.PooledPayloadBytes += out.Sched.PooledPayloadBytes
+	if out.Sched.MaxShardStage > p.MaxShardStage {
+		p.MaxShardStage = out.Sched.MaxShardStage
+	}
 }
 
 // Merge folds another rollup (e.g. one configuration's trial batch) in.
@@ -120,6 +133,11 @@ func (p *Perf) Merge(q Perf) {
 	p.WheelCascades += q.WheelCascades
 	if q.MaxBucketDepth > p.MaxBucketDepth {
 		p.MaxBucketDepth = q.MaxBucketDepth
+	}
+	p.BurstJobs += q.BurstJobs
+	p.PooledPayloadBytes += q.PooledPayloadBytes
+	if q.MaxShardStage > p.MaxShardStage {
+		p.MaxShardStage = q.MaxShardStage
 	}
 }
 

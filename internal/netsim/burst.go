@@ -1,0 +1,260 @@
+// Per-recipient burst expansion — the sharded form of Send (DESIGN.md
+// §14). Sparse-overlay protocols never broadcast: their entire bill is
+// per-recipient Send calls (gossip push/pull fanouts, allconcur envelope
+// floods), which the eager SendAll machinery of fanshard.go cannot batch.
+// The burst path batches them at the scheduler's natural grain instead:
+// the first BurstSend of a flush window registers ONE deferred expansion
+// job (vclock.SubmitSealed) and every further BurstSend — from any process
+// invoked in the window — appends a per-recipient entry to the recipient's
+// shard. At the flush point the job seals, each shard draws its entries'
+// delays from its own PCG stream, builds deferred payloads through the
+// per-shard payload pools, and stages one pooled delivery event per entry
+// into its shard wheel. Work is partitioned by recipient stripe — a pure
+// function of the topology — and sequence blocks are reserved at the flush
+// point by token-side logic, so the resulting schedule is bit-identical at
+// every worker count.
+package netsim
+
+import (
+	"time"
+
+	"allforone/internal/model"
+	"allforone/internal/vclock"
+)
+
+// BurstBuilder constructs one burst entry's payload inside the expansion
+// job — off the execution token, on whichever worker owns the recipient's
+// shard. ctx is the shared context the sender captured at BurstSendVia
+// (e.g. one boxed item batch shared by d per-successor entries) and arg the
+// per-entry argument (e.g. that link's sequence number). The builder may
+// draw pooled objects via Network.GrabPayload(shard) and must touch no
+// state shared across shards; bytes reports the payload bytes built (the
+// PooledPayloadBytes stat). With shard < 0 the builder is running under
+// the token (the unsharded fallback path).
+type BurstBuilder interface {
+	BuildPayload(nw *Network, shard int, ctx any, arg uint64) (payload any, bytes int)
+}
+
+// burstEntry is one queued per-recipient send. Entries are appended under
+// the token (between flushes) and read by the owning shard's worker during
+// the flush join, so no two parties ever touch one concurrently.
+type burstEntry struct {
+	payload any          // the payload itself, or the builder's shared ctx
+	builder BurstBuilder // nil: payload above is sent as-is
+	at      vclock.Time  // send instant (the clock may advance mid-window)
+	arg     uint64       // per-entry builder argument
+	from    model.ProcID
+	to      model.ProcID
+	skip    bool // inbox closed at send time: draw the delay, stage nothing
+}
+
+// burstFan is the one deferred expansion job of the current flush window
+// (vclock.SealedJob). It is a singleton per network: windows never overlap
+// — the flush that seals it also joins its expansion and drains its staged
+// events before the token resumes — so the same object re-registers for
+// the next window.
+type burstFan struct {
+	nw  *Network
+	per uint64 // per-shard sequence stride, fixed by Seal
+}
+
+// Seal freezes the window: no further entry will be appended (the token is
+// inside flush), the stride is the deepest shard's entry count, and the
+// network is re-armed so the next BurstSend opens a new window.
+func (b *burstFan) Seal() uint64 {
+	per := 0
+	for s := range b.nw.shards {
+		if l := len(b.nw.shards[s].burst); l > per {
+			per = l
+		}
+	}
+	b.per = uint64(per)
+	b.nw.burstLive = false
+	return b.per
+}
+
+// ExpandShard draws, builds, and stages shard's burst entries. Delays are
+// drawn in entry (append) order from the shard's own stream — for skipped
+// entries too, mirroring sendFan's stream-stability rule — and each staged
+// entry becomes one pooled delivery event at (send instant + delay) with
+// the next sequence of the shard's block.
+func (b *burstFan) ExpandShard(shard int, seqBase uint64, ins *vclock.ShardInserter) {
+	nw := b.nw
+	sh := &nw.shards[shard]
+	entries := sh.burst
+	if len(entries) == 0 {
+		return
+	}
+	seqBase += uint64(shard) * b.per
+	uniform := nw.opts.uniform
+	min, span := nw.opts.uniMin, int64(nw.opts.uniSpan)
+	payloadBytes := 0
+	k := uint64(0)
+	for i := range entries {
+		e := &entries[i]
+		payload := e.payload
+		if e.builder != nil && !e.skip {
+			var nb int
+			payload, nb = e.builder.BuildPayload(nw, shard, e.payload, e.arg)
+			payloadBytes += nb
+		}
+		var d time.Duration
+		switch {
+		case uniform:
+			d = min
+			if span > 0 {
+				d += time.Duration(sh.rng.Int64N(span + 1))
+			}
+		case nw.opts.timedFn != nil:
+			d = nw.opts.timedFn(time.Duration(e.at), sh.rng, Message{From: e.from, To: e.to, Payload: payload})
+		case nw.opts.delayFn != nil:
+			d = nw.opts.delayFn(sh.rng, Message{From: e.from, To: e.to, Payload: payload})
+		}
+		if d < 0 {
+			d = 0
+		}
+		if e.skip {
+			continue
+		}
+		dv := sh.getDelivery(nw, shard)
+		dv.box = nw.vboxes[e.to]
+		dv.msg = Message{From: e.from, To: e.to, Payload: payload}
+		ins.At(e.at+vclock.Time(d), seqBase+k, dv)
+		k++
+	}
+	if payloadBytes > 0 {
+		ins.NotePayloadBytes(int64(payloadBytes))
+	}
+	// The worker owns this shard's entries for the whole window; clearing
+	// here drops the payload references before the token resumes.
+	clear(entries)
+	sh.burst = entries[:0]
+}
+
+// burstAppend queues one entry, registering the window's deferred job with
+// the scheduler on the first send. The earliest-instant hint is the submit
+// instant plus any profile-wide minimum delay: the clock never rewinds and
+// delays are non-negative, so it lower-bounds every entry of the window —
+// including ones appended later — and under a zero-minimum profile the
+// sealed tie-break rule still lets the current instant's whole cohort pop
+// before the window closes.
+func (nw *Network) burstAppend(e burstEntry) {
+	if !nw.burstLive {
+		sched := nw.opts.sched
+		if sched.JobsOutstanding() == 0 {
+			nw.recycleShardPools()
+		}
+		earliest := vclock.Time(sched.Now())
+		if nw.opts.uniform && nw.opts.uniMin > 0 {
+			earliest += vclock.Time(nw.opts.uniMin)
+		}
+		nw.burstLive = true
+		sched.SubmitSealed(&nw.burstJob, earliest)
+	}
+	sh := &nw.shards[nw.shardOf[e.to]]
+	sh.burst = append(sh.burst, e)
+}
+
+// BurstSend transmits payload from one process to another through the
+// sharded burst path: semantically identical to Send — counted the same,
+// delivered at send instant + one policy delay draw — but the delay draw,
+// delivery-event construction, and wheel insertion happen inside the
+// current window's expansion job, off the execution token, on the shard
+// that owns the recipient. On an unsharded network (small topology,
+// realtime engine, no delay policy) or after Shutdown it falls back to
+// plain Send behavior. Like every virtual-mode network call it must run
+// under the scheduler's execution token.
+func (nw *Network) BurstSend(from, to model.ProcID, payload any) {
+	if int(to) < 0 || int(to) >= nw.n {
+		return
+	}
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsSent(1)
+	}
+	if nw.shards == nil || nw.closed.Load() {
+		m := Message{From: from, To: to, Payload: payload}
+		nw.deliver(m, nw.delayFor(m))
+		return
+	}
+	nw.burstAppend(burstEntry{
+		payload: payload,
+		at:      vclock.Time(nw.opts.sched.Now()),
+		from:    from,
+		to:      to,
+		skip:    nw.boxClosed(to),
+	})
+}
+
+// BurstSendVia is BurstSend with deferred payload construction: instead of
+// a ready payload the sender hands a builder, a context shared across the
+// entries of one logical flush (boxed once), and a per-entry argument. The
+// payload is built inside the expansion job — off-token, through the
+// recipient shard's payload pool — so the token-side handler only enqueues
+// intent. On the fallback paths the payload is built inline (shard −1).
+func (nw *Network) BurstSendVia(from, to model.ProcID, b BurstBuilder, ctx any, arg uint64) {
+	if int(to) < 0 || int(to) >= nw.n {
+		return
+	}
+	if nw.opts.counters != nil {
+		nw.opts.counters.AddMsgsSent(1)
+	}
+	if nw.shards == nil || nw.closed.Load() {
+		payload, _ := b.BuildPayload(nw, -1, ctx, arg)
+		m := Message{From: from, To: to, Payload: payload}
+		nw.deliver(m, nw.delayFor(m))
+		return
+	}
+	nw.burstAppend(burstEntry{
+		payload: ctx,
+		builder: b,
+		at:      vclock.Time(nw.opts.sched.Now()),
+		arg:     arg,
+		from:    from,
+		to:      to,
+		skip:    nw.boxClosed(to),
+	})
+}
+
+// GrabPayload pops a pooled payload object from shard's payload pool, or
+// returns nil when the pool is empty (the caller allocates). shard ≥ 0 is
+// worker-side — builders call it for their own shard only; shard < 0 is
+// the token-owned global pool of the unsharded fallback path.
+func (nw *Network) GrabPayload(shard int) any {
+	var pool *[]any
+	if shard >= 0 {
+		pool = &nw.shards[shard].freePay
+	} else {
+		pool = &nw.freePayloads
+	}
+	if k := len(*pool); k > 0 {
+		p := (*pool)[k-1]
+		(*pool)[k-1] = nil
+		*pool = (*pool)[:k-1]
+		return p
+	}
+	return nil
+}
+
+// RecyclePayload returns a consumed payload object to shard's pool. It
+// runs under the execution token (consumption is token-side), so sharded
+// returns land on the shard's recycled list and merge back into the
+// worker-owned freelist when the expansion pool is idle
+// (recycleShardPools), mirroring the fanout and delivery pools.
+func (nw *Network) RecyclePayload(shard int, p any) {
+	if shard >= 0 {
+		sh := &nw.shards[shard]
+		sh.recPay = append(sh.recPay, p)
+		return
+	}
+	nw.freePayloads = append(nw.freePayloads, p)
+}
+
+// ShardOf returns the expansion shard owning recipient p, or −1 on an
+// unsharded network — the shard whose pools served p's burst payloads, so
+// consumers recycle into the right pool.
+func (nw *Network) ShardOf(p model.ProcID) int {
+	if nw.shardOf == nil {
+		return -1
+	}
+	return int(nw.shardOf[p])
+}

@@ -29,6 +29,17 @@ type sendShard struct {
 	keys     []uint64   // packed-key scratch, hot across jobs
 	free     []*fanout  // worker-side fanout freelist
 	recycled []*fanout  // token-side: released fanouts awaiting merge
+
+	// Per-recipient burst state (burst.go), same ownership split: burst
+	// entries are appended by the token between flushes and consumed by
+	// the owning worker during the flush join; freeDel/freePay are
+	// worker-side pools, recDel/recPay the token-side recycle lists merged
+	// back at pool-idle.
+	burst   []burstEntry
+	freeDel []*delivery
+	recDel  []*delivery
+	freePay []any
+	recPay  []any
 }
 
 // getFanout pops a pooled fanout from the shard's freelist or makes one
@@ -43,6 +54,17 @@ func (sh *sendShard) getFanout(nw *Network, shard, want int) *fanout {
 		return f
 	}
 	return &fanout{nw: nw, shard: int32(shard), key32: make([]uint32, 0, want)}
+}
+
+// getDelivery pops a pooled delivery from the shard's worker-side freelist
+// or makes one tagged with the shard id, so Fire routes it back here.
+func (sh *sendShard) getDelivery(nw *Network, shard int) *delivery {
+	if k := len(sh.freeDel); k > 0 {
+		d := sh.freeDel[k-1]
+		sh.freeDel = sh.freeDel[:k-1]
+		return d
+	}
+	return &delivery{nw: nw, shard: int32(shard)}
 }
 
 // fanJob is one SendAll's expansion job: everything a worker needs to
@@ -133,7 +155,7 @@ func (j *fanJob) ExpandShard(shard int, seqBase uint64, ins *vclock.ShardInserte
 				// it there safely (Fire runs under the token).
 				overflows++
 				ins.At(j.at+vclock.Time(d), seqBase+overflows,
-					&delivery{nw: nw, box: nw.vboxes[to], msg: m})
+					&delivery{nw: nw, box: nw.vboxes[to], msg: m, shard: -1})
 				continue
 			}
 			w := uint64(d)
@@ -215,6 +237,16 @@ func (nw *Network) recycleShardPools() {
 			clear(sh.recycled)
 			sh.recycled = sh.recycled[:0]
 		}
+		if len(sh.recDel) > 0 {
+			sh.freeDel = append(sh.freeDel, sh.recDel...)
+			clear(sh.recDel)
+			sh.recDel = sh.recDel[:0]
+		}
+		if len(sh.recPay) > 0 {
+			sh.freePay = append(sh.freePay, sh.recPay...)
+			clear(sh.recPay)
+			sh.recPay = sh.recPay[:0]
+		}
 	}
 	for _, j := range nw.liveJobs {
 		j.payload = nil
@@ -239,11 +271,16 @@ func mix64(x uint64) uint64 {
 // scheduler's submit-time sequence reservation).
 func (nw *Network) initShards(count int) {
 	nw.shards = make([]sendShard, count)
+	nw.shardOf = make([]uint8, nw.n)
 	nw.seqPerShard = uint64((nw.n+count-1)/count) + 1
+	nw.burstJob.nw = nw
 	for s := range nw.shards {
 		sh := &nw.shards[s]
 		sh.lo = s * nw.n / count
 		sh.hi = (s + 1) * nw.n / count
+		for i := sh.lo; i < sh.hi; i++ {
+			nw.shardOf[i] = uint8(s)
+		}
 		st := nw.opts.seed + uint64(s+1)*0x9E3779B97F4A7C15
 		sh.rng = rand.New(rand.NewPCG(mix64(st), mix64(st^0xda3e39cb94b95bdb)))
 	}

@@ -154,24 +154,41 @@ type Network struct {
 	// Sharded expansion state (fanshard.go); nil unless the scheduler is
 	// sharded and a delay policy makes expansion worth fanning out.
 	shards      []sendShard
+	shardOf     []uint8   // recipient → owning shard (len n)
 	seqPerShard uint64    // sequence-block stride per shard (vclock.SubmitJob)
+	fanOK       bool      // SendAll may use the packed-key fanout jobs (n fits the key)
 	freeJobs    []*fanJob // pooled expansion jobs (token-owned)
 	liveJobs    []*fanJob // jobs submitted, recycled when the pool drains
+
+	// Per-recipient burst state (burst.go): the window's deferred job plus
+	// the token-owned global payload pool of the unsharded fallback path.
+	burstJob     burstFan
+	burstLive    bool // a sealed job is registered for the current window
+	freePayloads []any
 }
 
 // delivery is a pooled single-message delivery event (virtual mode): the
-// scheduled form of one point-to-point Send.
+// scheduled form of one point-to-point Send. shard names the pool that owns
+// it: a burst-expanded delivery cycles through its recipient shard's
+// freelist (worker-filled, token-drained — see sendShard), everything else
+// through the network-global one.
 type delivery struct {
-	nw  *Network
-	box *mailbox.Virtual[Message]
-	msg Message
+	nw    *Network
+	box   *mailbox.Virtual[Message]
+	msg   Message
+	shard int32 // owning pool; -1 = network-global
 }
 
 // Fire delivers the message and returns the envelope to the pool.
 func (d *delivery) Fire() {
 	box, msg := d.box, d.msg
 	d.box, d.msg = nil, Message{}
-	d.nw.freeDeliveries = append(d.nw.freeDeliveries, d)
+	if d.shard >= 0 {
+		sh := &d.nw.shards[d.shard]
+		sh.recDel = append(sh.recDel, d)
+	} else {
+		d.nw.freeDeliveries = append(d.nw.freeDeliveries, d)
+	}
 	box.Put(msg)
 }
 
@@ -349,7 +366,7 @@ func (nw *Network) getDelivery() *delivery {
 		nw.freeDeliveries = nw.freeDeliveries[:k-1]
 		return d
 	}
-	return &delivery{nw: nw}
+	return &delivery{nw: nw, shard: -1}
 }
 
 // getFanout pops a pooled fanout event or makes one, with room for up to
@@ -394,14 +411,17 @@ func New(n int, opts ...Option) (*Network, error) {
 			nw.vboxes[i] = mailbox.NewVirtual[Message]()
 		}
 		nw.closedBox = make([]uint64, (n+63)/64)
-		if sc := o.sched.ShardCount(); sc > 0 && n <= maxPackFan &&
+		if sc := o.sched.ShardCount(); sc > 0 &&
 			(o.uniform || o.delayFn != nil || o.timedFn != nil) {
-			// The scheduler is sharded and broadcasts have per-recipient
-			// delay work worth fanning out: engage the sharded SendAll path
-			// (fanshard.go). The predicate reads only topology size and the
+			// The scheduler is sharded and sends have per-recipient delay
+			// work worth fanning out: engage the sharded expansion paths —
+			// per-recipient bursts (burst.go) always, the packed-key
+			// SendAll fanout jobs (fanshard.go) only while recipient ids
+			// fit the key. The predicate reads only topology size and the
 			// configured policy, so engagement — like everything downstream
 			// of it — is independent of the worker count.
 			nw.initShards(sc)
+			nw.fanOK = n <= maxPackFan
 		}
 		return nw, nil
 	}
@@ -644,7 +664,7 @@ func (nw *Network) SendAll(from model.ProcID, payload any) {
 	if nw.opts.counters != nil {
 		nw.opts.counters.AddMsgsSent(int64(nw.n))
 	}
-	if nw.shards != nil {
+	if nw.shards != nil && nw.fanOK {
 		nw.submitFanAll(from, payload)
 		return
 	}

@@ -244,14 +244,14 @@ func TestVirtualSendAllSteadyStateAllocs(t *testing.T) {
 	}
 }
 
-// Per-recipient Send — the sparse-overlay protocols' only transmission
-// primitive — bypasses the sharded SendAll expansion machinery and rides
-// the network-global delivery pool. Warmed up, that path must also be
+// Per-recipient Send on an UNSHARDED scheduler — the sparse-overlay
+// protocols' transmission primitive below the sharding floor — rides the
+// network-global delivery pool. Warmed up, that path must be
 // allocation-free per round: an overlay protocol at n·d sends per round
 // would otherwise pay n·d allocations where SendAll pays zero. n=256 with
-// a de Bruijn successor list reproduces the overlay fanout shape exactly
-// (ROADMAP item 2 tracks routing these bursts through the shard pool;
-// this test pins the baseline the bypass must not regress from).
+// a de Bruijn successor list reproduces the overlay fanout shape exactly.
+// (On a sharded scheduler the same calls route through the sealed burst
+// path — TestVirtualBurstSendSteadyStateAllocs pins that side.)
 func TestVirtualOverlaySendSteadyStateAllocs(t *testing.T) {
 	const n = 256
 	g, err := overlay.Spec{Kind: overlay.KindDeBruijn, Degree: 4}.Build(n, 7)
@@ -323,6 +323,111 @@ func TestVirtualOverlaySendSteadyStateAllocs(t *testing.T) {
 	// allocation per send is what would hurt at n·d sends per round.
 	if perSend := float64(allocs) / (rounds * 2 * float64(len(succ))); perSend > 0.5 {
 		t.Fatalf("steady-state per-recipient Send allocates %.2f times per send (%d sends/round), want ≤ 0.5",
+			perSend, 2*len(succ))
+	}
+}
+
+// burstEchoPayload is a non-zero pooled payload for the burst allocs test:
+// boxing it per send would cost one allocation each — exactly what the
+// per-shard payload pools exist to remove.
+type burstEchoPayload struct {
+	Seq uint32
+}
+
+// burstEchoBuilder builds burstEchoPayloads inside the expansion job from
+// the shard's pool, mirroring allconcur's envelope builder.
+type burstEchoBuilder struct{}
+
+func (burstEchoBuilder) BuildPayload(nw *Network, shard int, ctx any, arg uint64) (any, int) {
+	p, _ := nw.GrabPayload(shard).(*burstEchoPayload)
+	if p == nil {
+		p = new(burstEchoPayload)
+	}
+	p.Seq = uint32(arg)
+	return p, 4
+}
+
+// TestVirtualBurstSendSteadyStateAllocs is the sharded counterpart of the
+// overlay Send test above, with NON-ZERO payloads: on a sharded scheduler
+// BurstSendVia routes the fanout through the sealed burst path, payload
+// construction runs off-token through the per-shard payload pools, and the
+// steady state must stay allocation-free per send — pooled deliveries,
+// pooled payloads, recycled entry buffers. It also pins the stats wiring:
+// the run must report burst jobs and pooled payload bytes.
+func TestVirtualBurstSendSteadyStateAllocs(t *testing.T) {
+	const n = 256
+	g, err := overlay.Spec{Kind: overlay.KindDeBruijn, Degree: 4}.Build(n, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	succ := g.Succ(0)
+	s := vclock.New(vclock.WithShards(vclock.ShardsFor(n), 1))
+	nw, err := New(n, WithScheduler(s), WithSeed(11), WithUniformDelay(0, 50*time.Microsecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each successor recycles the pooled payload after reading it — the
+	// recipient-side half of the pooling contract — then echoes a zero-size
+	// ack through the same burst path.
+	type ack struct{}
+	for _, p := range succ {
+		p := p
+		proc := s.Spawn("succ", func() {
+			for {
+				m, ok := nw.Receive(p, nil)
+				if !ok {
+					return
+				}
+				env := m.Payload.(*burstEchoPayload)
+				nw.RecyclePayload(nw.ShardOf(p), env)
+				nw.BurstSend(p, 0, ack{})
+			}
+		})
+		nw.Bind(p, proc)
+	}
+	const rounds = 400
+	var allocs uint64
+	var seq uint64
+	sender := s.Spawn("sender", func() {
+		round := func() {
+			for _, p := range succ {
+				nw.BurstSendVia(0, p, burstEchoBuilder{}, nil, seq)
+				seq++
+			}
+			for range succ {
+				if _, ok := nw.Receive(0, nil); !ok {
+					t.Error("sender lost an ack")
+				}
+			}
+		}
+		for r := 0; r < 20; r++ { // warm the delivery, payload, and entry pools
+			round()
+		}
+		var m0, m1 runtime.MemStats
+		runtime.ReadMemStats(&m0)
+		for r := 0; r < rounds; r++ {
+			round()
+		}
+		runtime.ReadMemStats(&m1)
+		allocs = m1.Mallocs - m0.Mallocs
+		nw.CloseInbox(0)
+		for _, p := range succ {
+			nw.CloseInbox(p)
+		}
+	})
+	nw.Bind(0, sender)
+	if out := s.Run(); out.DeadlineExceeded || out.StepsExceeded {
+		t.Fatalf("outcome = %+v, want clean", out)
+	}
+	stats := s.Stats()
+	if stats.BurstJobs == 0 {
+		t.Fatalf("burst path not engaged on a sharded scheduler: %+v", stats)
+	}
+	if stats.PooledPayloadBytes == 0 {
+		t.Fatalf("off-token payload construction reported zero bytes: %+v", stats)
+	}
+	if perSend := float64(allocs) / (rounds * 2 * float64(len(succ))); perSend > 0.5 {
+		t.Fatalf("steady-state burst Send allocates %.2f times per send (%d sends/round), want ≤ 0.5",
 			perSend, 2*len(succ))
 	}
 }

@@ -269,6 +269,19 @@ type SchedulerStats struct {
 	// token waited for outstanding expansion jobs before popping an event
 	// they could have preceded.
 	PoolFlushes int64
+	// BurstJobs is the number of deferred burst jobs submitted
+	// (SubmitSealed calls; one per flush window that saw per-recipient
+	// burst traffic).
+	BurstJobs int64
+	// PooledPayloadBytes totals the payload bytes protocol builders
+	// constructed off-token through the per-shard payload pools (reported
+	// by expansion jobs via ShardInserter.NotePayloadBytes and merged at
+	// flush in shard order, so the sum is parallelism-independent).
+	PooledPayloadBytes int64
+	// MaxShardStage is the deepest per-shard staging buffer observed at
+	// any flush — the high-water mark of one shard's share of a single
+	// expansion window.
+	MaxShardStage int64
 }
 
 // wheel is one tiered timer structure: the near-future slot array with its
@@ -489,6 +502,26 @@ type ShardJob interface {
 	ExpandShard(shard int, seqBase uint64, ins *ShardInserter)
 }
 
+// SealedJob is the deferred form of ShardJob: a job whose content — and
+// therefore its per-shard sequence stride — keeps growing after submission,
+// accumulating the per-recipient sends of every handler invocation in the
+// current flush window (netsim's burst path). SubmitSealed registers it
+// without reserving sequence numbers; at the flush point, under the token
+// and before any worker runs, Seal is called once to freeze the content and
+// report the stride, the scheduler reserves the block exactly as SubmitJob
+// would, and only then is the job dispatched. Because flush points and the
+// submission order are pure token-side state, the reserved blocks — and
+// every staged (at, seq) key — are identical at every Workers setting.
+type SealedJob interface {
+	ShardJob
+	// Seal freezes the job's content and returns its per-shard sequence
+	// stride (an upper bound on the events any one shard will stage). It
+	// runs under the execution token; the job may record the stride and the
+	// flush-relative state ExpandShard needs, since the dispatch that
+	// follows publishes those writes to the workers.
+	Seal() (seqPerShard uint64)
+}
+
 // shardTask pairs a submitted job with its reserved sequence base — the
 // base rides the dispatch channel rather than the job, because a worker
 // may pick the job up before SubmitJob returns to its caller.
@@ -502,7 +535,8 @@ type shardTask struct {
 // jobs (or the token itself at Workers = 1) and must not be retained past
 // ExpandShard's return.
 type ShardInserter struct {
-	evs []event
+	evs          []event
+	payloadBytes int64
 }
 
 // At stages ev to fire at instant at with the given sequence number, which
@@ -510,6 +544,13 @@ type ShardInserter struct {
 // not precede the job's declared earliest instant.
 func (si *ShardInserter) At(at Time, seq uint64, ev Event) {
 	si.evs = append(si.evs, event{at: at, seq: seq, ev: ev})
+}
+
+// NotePayloadBytes records n bytes of payload the running job built
+// off-token through a per-shard payload pool; the flush merges the
+// per-shard totals into SchedulerStats.PooledPayloadBytes in shard order.
+func (si *ShardInserter) NotePayloadBytes(n int64) {
+	si.payloadBytes += n
 }
 
 // Scheduler is the discrete-event engine. It is NOT safe for concurrent
@@ -533,17 +574,26 @@ type Scheduler struct {
 	stats SchedulerStats // pool counters; wheel counters live on the wheels
 
 	// Expansion pool. jobsEarliest is the lower bound on the instant of any
-	// event an outstanding job may stage: the pop path may pop strictly
-	// earlier events without joining the pool (the lookahead rule).
-	workers      int
-	njobs        int
-	jobsEarliest Time
-	pendingJobs  []shardTask      // Workers = 1: jobs deferred to the flush point
-	jobsCh       []chan shardTask // Workers > 1: one channel per worker
-	jobWG        sync.WaitGroup   // outstanding (job × worker) completions
-	workerWG     sync.WaitGroup   // worker goroutine lifetimes
-	poolUp       bool             // workers spawned (lazily, at first SubmitJob)
-	poolDown     bool             // pool stopped (Release / end of Run)
+	// event an outstanding eagerly-dispatched job may stage: the pop path
+	// may pop strictly earlier events without joining the pool (the
+	// lookahead rule). sealedEarliest is the same bound for deferred
+	// (SubmitSealed) jobs; those reserve their sequence blocks only at
+	// flush — after every currently pending event — so a pop that merely
+	// TIES the bound may proceed (the tying event's smaller seq orders it
+	// first regardless), which is what lets all the handler invocations of
+	// one instant share a single burst window under a zero-minimum delay
+	// profile.
+	workers        int
+	njobs          int
+	jobsEarliest   Time
+	sealedEarliest Time
+	sealedJobs     []SealedJob
+	pendingJobs    []shardTask      // Workers = 1: jobs deferred to the flush point
+	jobsCh         []chan shardTask // Workers > 1: one channel per worker
+	jobWG          sync.WaitGroup   // outstanding (job × worker) completions
+	workerWG       sync.WaitGroup   // worker goroutine lifetimes
+	poolUp         bool             // workers spawned (lazily, at first SubmitJob)
+	poolDown       bool             // pool stopped (Release / end of Run)
 
 	procs    []*Proc
 	spawned  int
@@ -602,7 +652,7 @@ func WithShards(shards, workers int) Option {
 
 // New returns an empty scheduler at virtual time zero.
 func New(opts ...Option) *Scheduler {
-	s := &Scheduler{yield: make(chan struct{}), jobsEarliest: maxTime}
+	s := &Scheduler{yield: make(chan struct{}), jobsEarliest: maxTime, sealedEarliest: maxTime}
 	for _, o := range opts {
 		o(s)
 	}
@@ -737,6 +787,31 @@ func (s *Scheduler) SubmitJob(job ShardJob, earliest Time, seqPerShard uint64) {
 	}
 }
 
+// SubmitSealed registers a deferred burst job (SealedJob). Unlike
+// SubmitJob it reserves no sequence block here: the job keeps accumulating
+// content until the flush point, where Seal fixes its stride, the block is
+// reserved (after every event scheduled in the window, so a staged arrival
+// tying a pending event's instant orders after it), and the job dispatches
+// to the pool. earliest must lower-bound the instant of every event the
+// job will EVER stage, including entries appended after this call; since
+// the clock only advances and delays are non-negative, the submit instant
+// (plus any profile-wide minimum delay) is such a bound. Panics on an
+// unsharded scheduler.
+func (s *Scheduler) SubmitSealed(job SealedJob, earliest Time) {
+	if len(s.shards) == 0 {
+		panic("vclock: SubmitSealed on an unsharded scheduler")
+	}
+	if earliest < s.now {
+		earliest = s.now
+	}
+	s.stats.BurstJobs++
+	if earliest < s.sealedEarliest {
+		s.sealedEarliest = earliest
+	}
+	s.njobs++
+	s.sealedJobs = append(s.sealedJobs, job)
+}
+
 // ensurePool lazily spawns the worker goroutines — at the first SubmitJob,
 // not at New, so schedulers that are built but never run (e.g. a network
 // constructor error path) leak nothing. Worker w owns shards {s : s mod
@@ -794,6 +869,28 @@ func (s *Scheduler) flush() {
 		return
 	}
 	s.stats.PoolFlushes++
+	// Seal the deferred burst jobs first: freeze their content, reserve
+	// their sequence blocks NOW — in submission order, after every event
+	// already scheduled this window — and dispatch them behind any eagerly
+	// dispatched jobs (channel FIFO per worker preserves that order, as
+	// does pendingJobs append order at Workers = 1, so shard-RNG draw order
+	// is identical at every width).
+	for _, job := range s.sealedJobs {
+		per := job.Seal()
+		t := shardTask{job: job, base: s.seq + 1}
+		s.seq += uint64(len(s.shards)) * per
+		if s.workers > 1 {
+			s.ensurePool()
+			s.jobWG.Add(s.workers)
+			for _, ch := range s.jobsCh {
+				ch <- t
+			}
+		} else {
+			s.pendingJobs = append(s.pendingJobs, t)
+		}
+	}
+	clear(s.sealedJobs)
+	s.sealedJobs = s.sealedJobs[:0]
 	if s.workers > 1 {
 		s.jobWG.Wait()
 	} else {
@@ -818,6 +915,11 @@ func (s *Scheduler) flush() {
 			}
 			w.insert(ev)
 		}
+		if d := int64(len(ins.evs)); d > s.stats.MaxShardStage {
+			s.stats.MaxShardStage = d
+		}
+		s.stats.PooledPayloadBytes += ins.payloadBytes
+		ins.payloadBytes = 0
 		w.scheduled += int64(len(ins.evs))
 		s.shardLive += len(ins.evs)
 		clear(ins.evs)
@@ -825,6 +927,7 @@ func (s *Scheduler) flush() {
 	}
 	s.njobs = 0
 	s.jobsEarliest = maxTime
+	s.sealedEarliest = maxTime
 }
 
 // nextWheel surfaces the globally earliest pending event and returns the
@@ -852,9 +955,20 @@ func (s *Scheduler) nextWheel() (*wheel, bool) {
 				}
 			}
 		}
-		if s.njobs > 0 && (best == nil || best.active[0].at >= s.jobsEarliest) {
-			s.flush()
-			continue
+		if s.njobs > 0 {
+			// Eager jobs (SubmitJob) reserved their sequence blocks at
+			// submit, so a staged arrival may tie-break BEFORE a pending
+			// event at the same instant: flush on ≥. Sealed jobs reserve at
+			// flush, strictly after every pending event's seq, so a tying
+			// pending event always orders first: flush only on >, which
+			// lets the whole cohort of one instant pop — and append burst
+			// entries — before the window closes.
+			if best == nil ||
+				best.active[0].at >= s.jobsEarliest ||
+				best.active[0].at > s.sealedEarliest {
+				s.flush()
+				continue
+			}
 		}
 		if best == nil {
 			return nil, false

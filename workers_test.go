@@ -116,6 +116,101 @@ func TestWorkersDifferential(t *testing.T) {
 	}
 }
 
+// sparseWorkersScenario builds one differential cell for the sparse
+// overlay family: a de Bruijn digraph at default degree, a small timed
+// crash set (allconcur only — gossip's fixed round schedule tolerates
+// them too, but crashing the rumor source would make "everyone infected"
+// vacuous), and the uniform zero-min profile the large-n suites run,
+// which is the hard case for burst batching (the flush bound is the
+// submit instant itself, so windows stay open only through the sealed
+// strict-> tie-break rule).
+func sparseWorkersScenario(t *testing.T, protocolName string, n, workers int) Scenario {
+	t.Helper()
+	sc := Scenario{
+		Protocol: protocolName,
+		Topology: Topology{
+			N:       n,
+			Overlay: &OverlaySpec{Kind: OverlayDeBruijn, Degree: DefaultOverlayDegree(n)},
+		},
+		Profile: UniformProfile(0, 200*time.Microsecond),
+		Seed:    1303,
+		Workers: workers,
+		Bounds:  Bounds{Timeout: 120 * time.Second},
+	}
+	if protocolName == ProtocolGossip {
+		w := Workload{Binary: make([]Value, n)}
+		w.Binary[n/2] = One
+		sc.Workload = w
+	} else {
+		w := Workload{}
+		for i := 0; i < n; i++ {
+			w.Values = append(w.Values, fmt.Sprintf("v%d", i))
+		}
+		sc.Workload = w
+		sched := NewSchedule(n)
+		for _, p := range []ProcID{ProcID(n / 10), ProcID(n / 2)} {
+			if err := sched.SetTimed(p, 150*time.Microsecond); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sc.Faults = sched
+	}
+	return sc
+}
+
+// TestWorkersDifferentialSparse extends the parallelism-independence gate
+// to the sparse overlay family: gossip and allconcur route their
+// per-recipient fanouts through the sealed burst path (netsim.BurstSend /
+// BurstSendVia), whose per-shard delay draws and flush-time sequence
+// reservation must — like the eager SendAll path — produce bit-identical
+// Outcomes, traces, and scheduler stats at every Workers width.
+func TestWorkersDifferentialSparse(t *testing.T) {
+	t.Parallel()
+	sizes := []int{1024}
+	if !testing.Short() {
+		sizes = append(sizes, 4096)
+	}
+	widths := []int{2, 0} // 0 = NumCPU; 1 is the reference
+	for _, protocolName := range []string{ProtocolGossip, ProtocolAllConcur} {
+		for _, n := range sizes {
+			protocolName, n := protocolName, n
+			t.Run(fmt.Sprintf("%s/n=%d", protocolName, n), func(t *testing.T) {
+				t.Parallel()
+				ref, err := Run(sparseWorkersScenario(t, protocolName, n, 1))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := ref.CheckAgreement(); err != nil {
+					t.Fatal(err)
+				}
+				if !ref.AllLiveDecided() {
+					t.Fatalf("reference run: live processes unfinished: decided %d, crashed %d, blocked %d of %d",
+						ref.CountStatus(StatusDecided), ref.CountStatus(StatusCrashed),
+						ref.CountStatus(StatusBlocked), n)
+				}
+				// The cell must actually exercise the burst path: sparse
+				// per-recipient sends batch into sealed jobs, and allconcur
+				// additionally builds pooled payloads off-token.
+				if ref.Sched.BurstJobs == 0 || ref.Sched.ShardEvents == 0 {
+					t.Fatalf("burst path not engaged at n=%d: %+v", n, ref.Sched)
+				}
+				if protocolName == ProtocolAllConcur && ref.Sched.PooledPayloadBytes == 0 {
+					t.Fatalf("off-token payload construction not engaged: %+v", ref.Sched)
+				}
+				for _, w := range widths {
+					out, err := Run(sparseWorkersScenario(t, protocolName, n, w))
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(ref, out) {
+						t.Fatalf("Workers=%d diverged from Workers=1:\n  ref: %+v\n  got: %+v", w, ref, out)
+					}
+				}
+			})
+		}
+	}
+}
+
 // TestWorkersBelowShardingFloor pins the engagement rule: below n = 256
 // the run is unsharded at every Workers setting — and still bit-identical,
 // trivially, because the knob selects nothing.
